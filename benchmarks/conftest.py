@@ -1,0 +1,12 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md §4 for the index), asserts its headline shape, and prints the
+paper-style rows (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import sys
+
+
+def emit(title: str, text: str) -> None:
+    print(f"\n===== {title} =====\n{text}", file=sys.stderr)

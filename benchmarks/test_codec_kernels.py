@@ -1,0 +1,68 @@
+"""Codec micro-benchmarks (the §5.2 kernels, here in pure Python/numpy).
+
+These are real repeated-measurement benchmarks (unlike the experiment
+regenerations, which run once): encode / decode / single-node repair
+throughput of the four codes on a 64 KiB chunk stripe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import ClayCode, HitchhikerCode, LRCCode, RSCode, extract_reads
+
+CHUNK = 64 * 1024
+
+
+def _stripe(code, rng):
+    data = [rng.integers(0, 256, CHUNK, dtype=np.uint8) for _ in range(code.k)]
+    return data, code.encode_stripe(data)
+
+
+@pytest.mark.parametrize("make_code", [
+    lambda: RSCode(10, 4),
+    lambda: LRCCode(10, 2, 2),
+    lambda: HitchhikerCode(10, 4),
+    lambda: ClayCode(10, 4),
+], ids=["rs", "lrc", "hitchhiker", "clay"])
+def test_encode_throughput(benchmark, make_code):
+    code = make_code()
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 256, CHUNK, dtype=np.uint8) for _ in range(code.k)]
+    benchmark(code.encode, data)
+
+
+@pytest.mark.parametrize("make_code", [
+    lambda: RSCode(10, 4),
+    lambda: LRCCode(10, 2, 2),
+], ids=["rs", "lrc"])
+def test_single_repair_throughput(benchmark, make_code):
+    code = make_code()
+    rng = np.random.default_rng(1)
+    _data, stripe = _stripe(code, rng)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    plan = code.repair_plan(0, CHUNK)
+    reads = extract_reads(plan, chunks)
+    result = benchmark(code.repair, 0, reads, CHUNK)
+    assert np.array_equal(result, stripe[0])
+
+
+def test_clay_repair_throughput(benchmark):
+    """Clay repair after the one-time cached linear solve."""
+    code = ClayCode(10, 4)
+    rng = np.random.default_rng(2)
+    _data, stripe = _stripe(code, rng)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    plan = code.repair_plan(0, CHUNK)
+    reads = extract_reads(plan, chunks)
+    code._repair_solution(0)  # warm the cache (excluded from timing)
+    result = benchmark(code.repair, 0, reads, CHUNK)
+    assert np.array_equal(result, stripe[0])
+
+
+def test_rs_decode_two_erasures(benchmark):
+    code = RSCode(10, 4)
+    rng = np.random.default_rng(3)
+    _data, stripe = _stripe(code, rng)
+    available = {i: c for i, c in enumerate(stripe) if i not in (0, 5)}
+    out = benchmark(code.decode, available, [0, 5], CHUNK)
+    assert np.array_equal(out[0], stripe[0])

@@ -1,0 +1,22 @@
+"""Figure 14 — average chunk size under varying q (peak at q = 2-3)."""
+
+from conftest import emit
+
+from repro.experiments import fig14
+from repro.experiments.common import W1_SETTING, W2_SETTING
+
+
+def test_fig14_vary_q(benchmark):
+    def both():
+        return (fig14.run(W1_SETTING, n_objects=4000),
+                fig14.run(W2_SETTING, n_objects=15_000))
+
+    w1, w2 = benchmark.pedantic(both, rounds=1, iterations=1)
+    emit("Figure 14: average chunk size vs q",
+         fig14.to_text(w1, W1_SETTING) + "\n\n" + fig14.to_text(w2, W2_SETTING))
+    for points in (w1, w2):
+        by_q = {p.q: p.average_chunk_size for p in points}
+        peak = max(by_q.values())
+        assert fig14.best_q(points) in (2, 3, 4)
+        assert by_q[2] > 0.9 * peak
+        assert by_q[1] < by_q[2]  # q=1 (constant chunks) is worse than q=2

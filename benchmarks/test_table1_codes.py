@@ -1,0 +1,15 @@
+"""Table 1 — codes comparison (read traffic / storage / sub-packetization)."""
+
+from conftest import emit
+
+from repro.experiments import table1
+
+
+def test_table1_codes(benchmark):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    emit("Table 1: Codes Comparison", table1.to_text(rows))
+    by_name = {r.name: r for r in rows}
+    assert round(by_name["RS(10,4)"].read_traffic, 2) == 10.0
+    assert round(by_name["LRC(10,2,2)"].read_traffic, 2) == 5.71
+    assert round(by_name["Clay(10,4)"].read_traffic, 2) == 3.25
+    assert by_name["Clay(10,4)"].sub_packetization == 256

@@ -1,0 +1,17 @@
+"""Table 2 — W1/W2 workload statistics."""
+
+from conftest import emit
+
+from repro.experiments import table2
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def test_table2_workloads(benchmark):
+    rows = benchmark.pedantic(lambda: table2.run(n_objects=30_000),
+                              rounds=1, iterations=1)
+    emit("Table 2: workloads", table2.to_text(rows))
+    by_name = {r.name: r for r in rows}
+    assert abs(by_name["W1"].mean_object_size - 102.8 * MB) < 0.15 * 102.8 * MB
+    assert abs(by_name["W2"].mean_object_size - 101.3 * KB) < 0.15 * 101.3 * KB

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: Geometric Partitioning and Clay-code repair on real bytes.
+
+Walks the paper's core ideas end to end:
+
+1. partition an object with Algorithm 1 (including the front cut),
+2. encode a stripe with the Clay(10,4) MSR code,
+3. repair a lost chunk reading only the optimal 3.25x (vs RS's 10x),
+4. show the Figure 2 fragmentation cases the chunk-size dilemma comes from.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ClayCode, GeometricPartitioner, RSCode, extract_reads
+
+MB = 1 << 20
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Geometric Partitioning (Algorithm 1)
+    # ------------------------------------------------------------------
+    partitioner = GeometricPartitioner(s0=4 * MB, q=2)
+    size = int(73.5 * MB)
+    part = partitioner.partition(size)
+    print(f"Partitioning a {size / MB:.1f} MB object with s0=4MB, q=2:")
+    print(f"  front cut (RS-coded small-size-bucket): {part.front / MB:.1f} MB")
+    chunk_list = " + ".join(f"{c.size // MB}MB" for c in part.chunks())
+    print(f"  geometric chunks: {chunk_list}")
+    print(f"  adjacent-size ratio never exceeds q: {part.max_adjacent_ratio:.0f}")
+
+    # ------------------------------------------------------------------
+    # 2. Encode a Clay(10,4) stripe with real bytes
+    # ------------------------------------------------------------------
+    code = ClayCode(10, 4)
+    chunk_size = code.alpha * 16  # 16 bytes per sub-chunk
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 256, chunk_size, dtype=np.uint8)
+            for _ in range(code.k)]
+    stripe = code.encode_stripe(data)
+    print(f"\nClay(10,4): alpha={code.alpha} sub-chunks per chunk, "
+          f"d={code.d} helpers, storage overhead {code.storage_overhead:.0%}")
+
+    # ------------------------------------------------------------------
+    # 3. Optimal repair: read only beta/alpha from each survivor
+    # ------------------------------------------------------------------
+    failed = 3
+    plan = code.repair_plan(failed, chunk_size)
+    reads = extract_reads(plan, {i: c for i, c in enumerate(stripe)})
+    repaired = code.repair(failed, reads, chunk_size)
+    assert np.array_equal(repaired, stripe[failed])
+    rs_plan = RSCode(10, 4).repair_plan(failed, chunk_size)
+    print(f"repairing node D{failed + 1}:")
+    print(f"  Clay reads {plan.total_read_bytes} bytes "
+          f"({plan.read_traffic_ratio():.2f}x the lost chunk)")
+    print(f"  RS would read {rs_plan.total_read_bytes} bytes "
+          f"({rs_plan.read_traffic_ratio():.0f}x) — "
+          f"{rs_plan.total_read_bytes / plan.total_read_bytes:.1f}x more")
+
+    # ------------------------------------------------------------------
+    # 4. The fragmentation cases behind the chunk-size dilemma (Figure 2)
+    # ------------------------------------------------------------------
+    print("\nFigure 2 repair patterns (per helper):")
+    for node, case in ((0, 1), (5, 2), (10, 3), (13, 4)):
+        p = code.repair_plan(node, chunk_size).coalesced()
+        helper = p.helper_nodes[0]
+        ios = p.io_count_per_node()[helper]
+        seg = p.segments_for_node(helper)[0]
+        print(f"  case {case}: {ios:3d} discontinuous reads of "
+              f"{seg.length // (chunk_size // code.alpha):3d} sub-chunks")
+    print("\nLarge chunks amortise these seeks (good recovery); small chunks"
+          "\nstart the degraded-read pipeline sooner — Geometric Partitioning"
+          "\nuses both: small chunks first, then geometrically larger ones.")
+
+
+if __name__ == "__main__":
+    main()

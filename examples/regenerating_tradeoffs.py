@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The regenerating-code design space around the paper's choice of Clay.
+
+Places the paper's MSR choice on the storage/repair-bandwidth trade-off by
+exercising all five codes in this repository on real bytes:
+
+* RS — MDS storage, worst repair (reads k full chunks),
+* LRC — locality instead of optimal bandwidth, not MDS,
+* Hitchhiker — 35% repair savings with alpha = 2, still MDS,
+* Clay (MSR) — MDS storage *and* optimal (n-1)/q repair,
+* product-matrix MBR — minimum possible repair bandwidth, extra storage,
+
+then shows ECPipe's orthogonal trick (repair *pipelining*) in a
+network-bound setting, and a multi-failure recovery — the case where even
+Clay must fall back to full decode.
+
+Run:  python examples/regenerating_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro.codes import (
+    ClayCode,
+    HitchhikerCode,
+    LRCCode,
+    ProductMatrixMBR,
+    RSCode,
+    extract_reads,
+)
+from repro.core.ecpipe import ecpipe_repair_time, star_repair_time
+
+MB = 1 << 20
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    print("Single-failure repair cost on real bytes (k=10, r=4, verified):")
+    print(f"  {'code':22s} {'storage':>8s} {'repair reads':>13s} {'alpha':>6s}")
+    for code in (RSCode(10, 4), LRCCode(10, 2, 2), HitchhikerCode(10, 4),
+                 ClayCode(10, 4)):
+        chunk = 256 * code.alpha
+        data = [rng.integers(0, 256, chunk, dtype=np.uint8) for _ in range(10)]
+        stripe = code.encode_stripe(data)
+        plan = code.repair_plan(0, chunk)
+        reads = extract_reads(plan, dict(enumerate(stripe)))
+        assert np.array_equal(code.repair(0, reads, chunk), stripe[0])
+        print(f"  {code.name:22s} {code.storage_overhead:7.0%} "
+              f"{plan.read_traffic_ratio():11.2f}x {code.alpha:6d}")
+
+    mbr = ProductMatrixMBR(14, 10, 13)
+    data = rng.integers(0, 256, mbr.B * 64, dtype=np.uint8)
+    chunks = mbr.encode(data)
+    helpers = {h: mbr.helper_symbol(h, 0, chunks[h]) for h in range(1, 14)}
+    assert np.array_equal(mbr.repair(0, helpers), chunks[0])
+    assert np.array_equal(mbr.decode({i: chunks[i] for i in range(10)}), data)
+    print(f"  {mbr.name:22s} {mbr.storage_overhead:7.0%} "
+          f"{mbr.repair_traffic_symbols / mbr.alpha:11.2f}x {mbr.alpha:6d}")
+    print("\nMSR (Clay) keeps MDS storage with near-minimum repair — the paper's"
+          "\npick; MBR halves repair again but pays 53% extra storage (§2.2).")
+
+    print("\nECPipe (repair *pipelining*, §7) in a network-bound regime"
+          " (64 MB strip, 1 Gbps links):")
+    bw = 125 * MB
+    star = star_repair_time(64 * MB, 10, bw)
+    for packet in (64 * 1024, 4 * MB, 64 * MB):
+        t = ecpipe_repair_time(64 * MB, 10, bw, packet)
+        label = f"{packet // 1024}KB" if packet < MB else f"{packet // MB}MB"
+        print(f"  packet {label:>6s}: {t:5.2f}s vs star {star:.2f}s "
+              f"({star / t:.1f}x)")
+    print("ECPipe needs addition-associative codes, so it cannot be combined"
+          "\nwith Clay — which is why the paper treats them as alternatives.")
+
+    print("\nMulti-failure: Clay loses its sub-chunk advantage (full decode):")
+    code = ClayCode(10, 4)
+    chunk = code.alpha
+    data = [rng.integers(0, 256, chunk, dtype=np.uint8) for _ in range(10)]
+    stripe = code.encode_stripe(data)
+    erased = [2, 7]
+    available = {i: c for i, c in enumerate(stripe) if i not in erased}
+    decoded = code.decode(available, erased, chunk)
+    for f in erased:
+        assert np.array_equal(decoded[f], stripe[f])
+    read_bytes = sum(c.size for c in available.values())
+    print(f"  repairing 2 chunks read {read_bytes // chunk} full chunks "
+          f"({read_bytes / (2 * chunk):.1f}x per lost chunk vs 3.25x "
+          f"for a single failure) — but >98% of failures are single (§2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Regenerate results/snapshot.txt — the run EXPERIMENTS.md quotes.
+
+Usage:  python results/make_snapshot.py > results/snapshot.txt
+Takes a few minutes; all sampling is seeded, so reruns are reproducible.
+"""
+
+import time
+
+from repro.experiments import (
+    ablations,
+    breakdown,
+    calibration,
+    durability,
+    fig2,
+    fig3_fig8,
+    fig4,
+    fig7,
+    fig11_fig12,
+    fig13,
+    fig14,
+    headline,
+    range_access,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    tradeoff,
+)
+from repro.experiments.common import W1_SETTING, W2_SETTING
+
+
+def main() -> None:
+    t0 = time.time()
+    print("== Table 1 =="); print(table1.to_text(table1.run()))
+    print("\n== Figure 2 =="); print(fig2.to_text(fig2.run()))
+    print("\n== Figures 3/8 =="); print(fig3_fig8.to_text(fig3_fig8.run()))
+    print("\n== Figure 4 =="); print(fig4.to_text(fig4.run()))
+    print("\n== Calibration =="); print(calibration.to_text(calibration.anchors()))
+    print("\n== Figure 7 =="); print(fig7.to_text(fig7.run(n_objects=100_000)))
+    print("\n== Table 2 =="); print(table2.to_text(table2.run(n_objects=40_000)))
+    w1 = tradeoff.run(W1_SETTING, n_objects=4000, n_requests=25)
+    print("\n== Figure 9 (W1) =="); print(tradeoff.to_text(w1))
+    w2 = tradeoff.run(W2_SETTING, n_objects=30_000, n_requests=15)
+    print("\n== Figure 10 (W2) =="); print(tradeoff.to_text(w2))
+    print("\n== Table 3 (from the same runs) ==")
+    print(table3.to_text(w1)); print(); print(table3.to_text(w2))
+    print("\n== Headline =="); print(headline.to_text(headline.run(w1=w1, w2=w2)))
+    print("\n== Figure 11 (W1) ==")
+    print(fig11_fig12.to_text(fig11_fig12.run(W1_SETTING, n_objects=1500,
+                                              n_probes=20)))
+    print("\n== Figure 12 (W2) ==")
+    print(fig11_fig12.to_text(fig11_fig12.run(W2_SETTING, n_objects=10_000,
+                                              n_probes=20)))
+    print("\n== Figure 13 ==")
+    print(fig13.to_text(fig13.run(n_objects=1500, n_requests=25)))
+    print("\n== Figure 14 (W1) ==")
+    print(fig14.to_text(fig14.run(W1_SETTING, n_objects=6000), W1_SETTING))
+    print("\n== Figure 14 (W2) ==")
+    print(fig14.to_text(fig14.run(W2_SETTING, n_objects=20_000), W2_SETTING))
+    print("\n== Breakdown W1 ==")
+    print(breakdown.to_text(breakdown.run(W1_SETTING, n_objects=12_000),
+                            W1_SETTING))
+    print("\n== Breakdown W2 ==")
+    print(breakdown.to_text(breakdown.run(W2_SETTING, n_objects=25_000),
+                            W2_SETTING))
+    print("\n== Range access (W1) ==")
+    print(range_access.to_text(range_access.run(n_objects=1500, n_requests=30)))
+    print("\n== Table 4 =="); print(table4.to_text(table4.run(n_objects=600)))
+    print("\n== Table 5 ==")
+    print(table5.to_text(table5.run(n_objects=1500, n_requests=15)))
+    print("\n== Ablations =="); print(ablations.to_text(W1_SETTING))
+    prio = ablations.io_priority_ablation(n_objects=1200, n_requests=12)
+    print(f"\nIO priority: degraded {prio.degraded_ms_with_priority:.0f}ms "
+          f"(priority lanes) vs {prio.degraded_ms_without_priority:.0f}ms "
+          f"(ablated)")
+    print("\n== Durability ==")
+    print(durability.to_text(durability.run(tradeoff_result=w1)))
+    print(f"\n[total wall time {time.time() - t0:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

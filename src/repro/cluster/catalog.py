@@ -1,0 +1,241 @@
+"""Object catalog and directory-server placement (§5.1).
+
+The directory server maps each object to a placement group (hash of its ID)
+and — for single-disk layouts — to the least-filled data-role disk of that
+PG, then records which bucket chunks the object occupies.  The catalog is
+pure bookkeeping (no simulated time): per-(PG, role) chunk-size histograms
+drive recovery task generation, and per-object records drive degraded
+reads.  Metadata is ~40 bytes/object (§5.1), tracked for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import Cluster
+from repro.core.layouts import (
+    ContiguousLayout,
+    Layout,
+    ObjectPlacement,
+    RS_KIND,
+)
+
+#: Approximate per-object index record size (§5.1 Metadata Management).
+METADATA_BYTES_PER_OBJECT = 40
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """Directory record of one ingested object."""
+
+    object_id: int
+    size: int
+    pg_id: int
+    role: int | None  # data role of its disk; None for striped layouts
+
+
+@dataclass
+class Catalog:
+    """All placement state produced by ingesting a workload."""
+
+    cluster: Cluster
+    layout: Layout
+    objects: list[StoredObject] = field(default_factory=list)
+    #: (pg_id, role) -> {stored_chunk_size: count} for regenerating buckets
+    chunk_counts: dict[tuple[int, int], Counter] = field(default_factory=dict)
+    #: (pg_id, role) -> bytes in the RS-coded small-size-bucket
+    small_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: (pg_id, role) -> total data bytes (fill level, used for balancing)
+    role_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: (pg_id, role) -> running byte offset of contiguous packing
+    _contig_fill: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: single-disk layouts: object_id -> its (immutable) placement
+    _placements: dict[int, ObjectPlacement] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, sizes) -> list[StoredObject]:
+        """Place a batch of objects; returns their records."""
+        new: list[StoredObject] = []
+        for size in sizes:
+            new.append(self._ingest_one(int(size)))
+        return new
+
+    def _ingest_one(self, size: int) -> StoredObject:
+        object_id = len(self.objects)
+        pg = self.cluster.pgs[object_id % len(self.cluster.pgs)]
+        k = self.cluster.config.k
+        if self.layout.spans_disks:
+            obj = StoredObject(object_id, size, pg.pg_id, None)
+            placement = self._place_striped(object_id, size)
+            for chunk in placement.chunks:
+                self._account_chunk(pg.pg_id, chunk.disk_index,
+                                    chunk.stored_bytes, chunk.code_kind,
+                                    chunk.data_bytes)
+        else:
+            role = min(range(k),
+                       key=lambda d: self.role_bytes.get((pg.pg_id, d), 0))
+            obj = StoredObject(object_id, size, pg.pg_id, role)
+            placement = self._place_single_disk(pg.pg_id, role, size)
+            self._placements[object_id] = placement
+            for chunk in placement.chunks:
+                self._account_chunk(pg.pg_id, role, chunk.stored_bytes,
+                                    chunk.code_kind, chunk.data_bytes)
+        self.objects.append(obj)
+        return obj
+
+    def _place_striped(self, object_id: int, size: int,
+                       failed_role: int = 0) -> ObjectPlacement:
+        from repro.core.layouts import StripeLayout
+
+        if isinstance(self.layout, StripeLayout):
+            # Rotate the starting disk per object (block-group placement).
+            return self.layout.place(size, failed_disk=failed_role,
+                                     start_role=object_id % self.cluster.config.k)
+        return self.layout.place(size, failed_disk=failed_role)
+
+    def _place_single_disk(self, pg_id: int, role: int, size: int) -> ObjectPlacement:
+        if isinstance(self.layout, ContiguousLayout):
+            fill = self._contig_fill.get((pg_id, role), 0)
+            placement = self.layout.place(size, start_offset=fill)
+            self._contig_fill[(pg_id, role)] = fill + size
+            return placement
+        return self.layout.place(size)
+
+    def _account_chunk(self, pg_id: int, role: int, stored: int,
+                       kind: str, data: int) -> None:
+        key = (pg_id, role)
+        self.role_bytes[key] = self.role_bytes.get(key, 0) + data
+        if kind == RS_KIND:
+            self.small_bytes[key] = self.small_bytes.get(key, 0) + stored
+        elif isinstance(self.layout, ContiguousLayout):
+            # Contiguous chunks are shared between unaligned neighbours;
+            # bucket occupancy is derived from the packing fill instead.
+            pass
+        else:
+            self.chunk_counts.setdefault(key, Counter())[stored] += 1
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def placement_of(self, obj: StoredObject, failed_role: int | None = None
+                     ) -> ObjectPlacement:
+        """The object's placement.
+
+        Single-disk placements are fixed at ingest; striped placements take
+        the failed role so ``needs_repair`` marks the right strips.
+        """
+        if obj.role is not None:
+            return self._placements[obj.object_id]
+        return self._place_striped(obj.object_id, obj.size, failed_role or 0)
+
+    def disk_of(self, obj: StoredObject) -> int | None:
+        """Global disk ID holding a single-disk object (None for striped)."""
+        if obj.role is None:
+            return None
+        pg = self.cluster.pgs[obj.pg_id]
+        return pg.disk_ids[obj.role]
+
+    def objects_on_disk(self, disk_id: int) -> list[StoredObject]:
+        """Single-disk objects that become unavailable when ``disk_id`` fails."""
+        out = []
+        for obj in self.objects:
+            if obj.role is not None and self.disk_of(obj) == disk_id:
+                out.append(obj)
+        return out
+
+    def objects_striped_over(self, disk_id: int) -> list[StoredObject]:
+        """Striped objects with a data strip on ``disk_id``."""
+        out = []
+        for obj in self.objects:
+            if obj.role is not None:
+                continue
+            pg = self.cluster.pgs[obj.pg_id]
+            if disk_id in pg and pg.role_of(disk_id) < self.cluster.config.k:
+                out.append(obj)
+        return out
+
+    # ------------------------------------------------------------------
+    # Recovery inventory
+    # ------------------------------------------------------------------
+    def recovery_inventory(self, disk_id: int):
+        """Per PG of the failed disk: (pg, failed_role, chunk-size histogram,
+        small-bucket bytes) of everything stored on that disk.
+
+        Parity buckets mirror the stripe geometry — physically a parity
+        bucket has as many rows as the fullest data bucket of its PG/level.
+        At production object counts (hundreds per PG) the fullest bucket is
+        within a row or two of the mean, so we estimate parity rows by the
+        mean data-role occupancy; this keeps scaled-down experiments free of
+        small-sample max-inflation.
+        """
+        out = []
+        k = self.cluster.config.k
+        for pg in self.cluster.pgs_of_disk(disk_id):
+            role = pg.role_of(disk_id)
+            if role < k:
+                chunks = self._data_chunks(pg.pg_id, role)
+                small = self.small_bytes.get((pg.pg_id, role), 0)
+            else:
+                totals: Counter = Counter()
+                for data_role in range(k):
+                    totals.update(self._data_chunks(pg.pg_id, data_role))
+                # Unbiased rounding of total/k: the fractional part becomes
+                # one extra chunk in a pg-dependent share of PGs, so summed
+                # over a disk's many PGs the byte count is right.
+                chunks = Counter()
+                for size, count in totals.items():
+                    base, rem = divmod(count, k)
+                    if rem and (pg.pg_id % k) < rem:
+                        base += 1
+                    if base:
+                        chunks[size] = base
+                small_total = sum(self.small_bytes.get((pg.pg_id, d), 0)
+                                  for d in range(k))
+                small = small_total // k
+            out.append((pg, role, chunks, small))
+        return out
+
+    def _data_chunks(self, pg_id: int, role: int) -> Counter:
+        """Chunk-size histogram of one data role's regenerating buckets."""
+        if isinstance(self.layout, ContiguousLayout):
+            fill = self._contig_fill.get((pg_id, role), 0)
+            chunk = self.layout.chunk_size
+            return Counter({chunk: -(-fill // chunk)}) if fill else Counter()
+        return Counter(self.chunk_counts.get((pg_id, role), Counter()))
+
+    # ------------------------------------------------------------------
+    # Stats (§6.3 breakdowns)
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes (reads + writes) moved by this device."""
+        return sum(o.size for o in self.objects)
+
+    @property
+    def small_bucket_bytes(self) -> int:
+        """Bytes stored in RS-coded small-size-buckets."""
+        return sum(self.small_bytes.values())
+
+    @property
+    def small_bucket_share(self) -> float:
+        """Fraction of capacity held by small-size-buckets."""
+        total = self.total_bytes
+        return self.small_bucket_bytes / total if total else 0.0
+
+    @property
+    def average_chunk_size(self) -> float:
+        """Mean regenerating-code chunk size (bytes)."""
+        total = n = 0
+        for counter in self.chunk_counts.values():
+            for size, count in counter.items():
+                total += size * count
+                n += count
+        return total / n if n else 0.0
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Directory metadata footprint (~40 B per object)."""
+        return METADATA_BYTES_PER_OBJECT * len(self.objects)

@@ -1,0 +1,135 @@
+"""HTTP-server memory pool for repaired chunks (§5.2).
+
+Repaired chunks stay in memory for a bounded retention time so a client
+can stream them; after that (or under memory pressure) they are flushed to
+disk and further requests are redirected there — protecting the server
+from slow clients holding gigabytes of repaired data.  Allocations are
+capped at 256 MB per chunk, which is why the partitioner never produces
+larger chunks (``max_chunk_size``).
+
+Time is supplied by the caller (the simulation's ``env.now`` or wall
+clock); the pool never sleeps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+MB = 1 << 20
+
+#: Where a chunk lookup is served from.
+IN_MEMORY = "memory"
+ON_DISK = "disk"
+
+
+class ChunkTooLargeError(ValueError):
+    """Raised for allocations above the 256 MB cap (§5.2)."""
+
+
+@dataclass
+class PoolStats:
+    allocations: int = 0
+    memory_hits: int = 0
+    disk_redirects: int = 0
+    misses: int = 0
+    flushes: int = 0
+    expirations: int = 0
+
+
+@dataclass
+class _Entry:
+    size: int
+    expires_at: float
+
+
+@dataclass
+class MemoryPool:
+    """Retention-bounded chunk cache with flush-to-disk spill."""
+
+    capacity_bytes: int = 4 << 30
+    max_chunk_bytes: int = 256 * MB
+    retention: float = 30.0
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+    _flushed: set = field(default_factory=set)
+    _used: int = 0
+    stats: PoolStats = field(default_factory=PoolStats)
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0 or self.max_chunk_bytes <= 0:
+            raise ValueError("capacities must be positive")
+        if self.retention <= 0:
+            raise ValueError("retention must be positive")
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently resident in the pool."""
+        return self._used
+
+    @property
+    def resident_chunks(self) -> int:
+        """Number of chunks currently resident."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def allocate(self, chunk_id, size: int, now: float) -> None:
+        """Admit a freshly repaired chunk.
+
+        Expired chunks are flushed first; if the pool is still full, the
+        oldest resident chunks are flushed early (slow-client protection).
+        """
+        if size > self.max_chunk_bytes:
+            raise ChunkTooLargeError(
+                f"chunk of {size} bytes exceeds the "
+                f"{self.max_chunk_bytes // MB} MB allocation cap")
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        if chunk_id in self._entries:
+            raise ValueError(f"chunk {chunk_id!r} already resident")
+        self.expire(now)
+        while self._used + size > self.capacity_bytes and self._entries:
+            self._flush_oldest()
+        if self._used + size > self.capacity_bytes:
+            raise ChunkTooLargeError("chunk larger than the whole pool")
+        self._entries[chunk_id] = _Entry(size, now + self.retention)
+        self._used += size
+        self._flushed.discard(chunk_id)
+        self.stats.allocations += 1
+
+    def lookup(self, chunk_id, now: float) -> str | None:
+        """IN_MEMORY, ON_DISK (flushed earlier), or None (never seen)."""
+        self.expire(now)
+        if chunk_id in self._entries:
+            self.stats.memory_hits += 1
+            return IN_MEMORY
+        if chunk_id in self._flushed:
+            self.stats.disk_redirects += 1
+            return ON_DISK
+        self.stats.misses += 1
+        return None
+
+    def release(self, chunk_id) -> None:
+        """Drop a chunk whose transfer completed (no flush needed)."""
+        entry = self._entries.pop(chunk_id, None)
+        if entry is not None:
+            self._used -= entry.size
+
+    def expire(self, now: float) -> int:
+        """Flush every chunk whose retention has elapsed."""
+        expired = [cid for cid, e in self._entries.items()
+                   if e.expires_at <= now]
+        for cid in expired:
+            self._flush(cid)
+            self.stats.expirations += 1
+        return len(expired)
+
+    # ------------------------------------------------------------------
+    def _flush_oldest(self) -> None:
+        chunk_id = next(iter(self._entries))
+        self._flush(chunk_id)
+
+    def _flush(self, chunk_id) -> None:
+        entry = self._entries.pop(chunk_id)
+        self._used -= entry.size
+        self._flushed.add(chunk_id)
+        self.stats.flushes += 1

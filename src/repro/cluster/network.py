@@ -1,0 +1,56 @@
+"""Network models: datacenter NICs and client edge links.
+
+The cluster network (56 Gbps IPoIB in the paper) is modelled per-node as a
+serialising resource — it is deliberately fast so that, as the paper
+observes, "the network is not the bottleneck for recovery" (Table 3).  The
+client edge is the scarce resource for degraded reads: each client gets a
+dedicated 1 Gbps (configurable) link, and transfer over it dominates
+degraded-read time (§2.1).
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Resource
+
+GBPS = 125 * (1 << 20)  # 1 Gbit/s in bytes/second (network gigabits)
+
+
+class Link:
+    """A serialising bandwidth pipe with byte accounting."""
+
+    def __init__(self, env: Environment, bandwidth: float, name: str = "link"):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.name = name
+        self.queue = Resource(env, capacity=1)
+        self.bytes_transferred = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Serialisation time of nbytes through this pipe."""
+        return nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int):
+        """Process: serialise ``nbytes`` through the pipe."""
+        if nbytes < 0:
+            raise ValueError("negative transfer")
+        req = self.queue.request()
+        yield req
+        yield self.env.timeout(self.transfer_time(nbytes))
+        self.queue.release(req)
+        self.bytes_transferred += nbytes
+
+
+class Nic(Link):
+    """A node's network interface (default 56 Gbps IPoIB ~ 6.8 GB/s)."""
+
+    def __init__(self, env: Environment, bandwidth: float = 50 * GBPS,
+                 name: str = "nic"):
+        # 56 Gbps IPoIB delivers roughly 6.5 GB/s of goodput in practice.
+        super().__init__(env, bandwidth, name)
+
+
+def client_link(env: Environment, gbps: float = 1.0) -> Link:
+    """A client edge link of the given bandwidth in Gbps (paper default 1)."""
+    return Link(env, gbps * GBPS, name=f"client-{gbps}gbps")

@@ -1,0 +1,93 @@
+"""Repair I/O profiles: the bridge between codes and the simulator.
+
+A :class:`RepairProfile` condenses an erasure code's byte-exact
+:class:`~repro.codes.base.RepairPlan` into what the disk and network models
+need: per-helper (discontinuous I/O count, bytes) pairs plus the codec
+output size.  Profiles are cached per ``(code, failed_role, chunk_size)``
+and can be scaled for the 4 MB batching the paper applies to striped
+recovery (where batching coalesces *requests* but, for regenerating codes,
+"the scattered disk read pattern remains unchanged").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import ErasureCode
+
+
+@dataclass(frozen=True)
+class HelperRead:
+    """What one surviving node reads for a repair.
+
+    ``span`` is the byte extent covered by the scattered pattern, letting
+    the disk model price the read-through alternative.
+    """
+
+    role: int
+    n_ios: int
+    nbytes: int
+    span: int
+
+
+@dataclass(frozen=True)
+class RepairProfile:
+    """Aggregate I/O shape of repairing one chunk."""
+
+    failed_role: int
+    chunk_size: int
+    helpers: tuple[HelperRead, ...]
+    output_bytes: int
+
+    @property
+    def total_read_bytes(self) -> int:
+        """Total bytes read across all helpers."""
+        return sum(h.nbytes for h in self.helpers)
+
+    @property
+    def read_traffic_ratio(self) -> float:
+        """Bytes read per byte repaired."""
+        return self.total_read_bytes / self.chunk_size
+
+    def scaled(self, count: int) -> "RepairProfile":
+        """Profile of ``count`` chunk repairs batched into one request."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count == 1:
+            return self
+        helpers = tuple(HelperRead(h.role, h.n_ios * count, h.nbytes * count,
+                                   h.span * count)
+                        for h in self.helpers)
+        return RepairProfile(self.failed_role, self.chunk_size * count,
+                             helpers, self.output_bytes * count)
+
+
+class ProfileCache:
+    """Builds and memoises repair profiles for one erasure code."""
+
+    def __init__(self, code: ErasureCode):
+        self.code = code
+        self._cache: dict[tuple[int, int], RepairProfile] = {}
+
+    def _rounded_chunk(self, chunk_size: int) -> int:
+        """Chunk sizes must be a multiple of the sub-packetization; sizes
+        that are not (e.g. Stripe-Max strips) are rounded up for timing."""
+        alpha = self.code.alpha
+        return max(alpha, -(-chunk_size // alpha) * alpha)
+
+    def get(self, failed_role: int, chunk_size: int) -> RepairProfile:
+        """Profile for (failed role, chunk size), building it on first use."""
+        rounded = self._rounded_chunk(chunk_size)
+        key = (failed_role, rounded)
+        if key not in self._cache:
+            plan = self.code.repair_plan(failed_role, rounded).coalesced()
+            ios = plan.io_count_per_node()
+            per_node = plan.read_bytes_per_node()
+            spans = {}
+            for node in per_node:
+                segs = plan.segments_for_node(node)
+                spans[node] = segs[-1].end - segs[0].offset
+            helpers = tuple(HelperRead(node, ios[node], per_node[node], spans[node])
+                            for node in sorted(per_node))
+            self._cache[key] = RepairProfile(failed_role, rounded, helpers, rounded)
+        return self._cache[key]

@@ -1,0 +1,778 @@
+"""RCStor: the paper's storage system, as a discrete-event simulation.
+
+One :class:`RCStor` instance couples a cluster shape, a data layout, and an
+erasure code.  Ingesting a workload populates the catalog; the three
+measurement entry points mirror the paper's evaluation:
+
+* :meth:`measure_normal_reads` — §6.2 "Normal Reads",
+* :meth:`measure_degraded_reads` — degraded read times, idle or busy,
+* :meth:`run_recovery` — full-disk recovery with the weighted global task
+  queue of §5.1, returning makespan and Table 3's bandwidth numbers.
+
+Simulated time uses the disk/network/codec models; *which bytes* move is
+dictated by the byte-exact repair plans of :mod:`repro.codes`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.catalog import Catalog, StoredObject
+from repro.cluster.codec import DEFAULT_CODEC, CodecModel
+from repro.cluster.disk import BACKGROUND, FOREGROUND, Disk
+from repro.cluster.foreground import start_foreground_load
+from repro.cluster.network import Link, Nic, client_link
+from repro.cluster.profiles import HelperRead, ProfileCache, RepairProfile
+from repro.cluster.topology import Cluster, ClusterConfig, PlacementGroup
+from repro.codes import LRCCode, RSCode
+from repro.codes.base import ErasureCode
+from repro.core.layouts import RS_KIND, Layout
+from repro.sim import Environment
+
+MB = 1 << 20
+
+
+@dataclass
+class DegradedReadResult:
+    """Timing breakdown of one degraded read (Figure 13's three bars)."""
+
+    total_time: float
+    repair_time: float
+    transfer_time: float
+    object_size: int
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of recovering one failed disk (Figure 9/10 y-axis, Table 3)."""
+
+    makespan: float
+    repaired_bytes: int
+    n_tasks: int
+    disk_bandwidth: float
+    network_bandwidth: float
+
+    @property
+    def recovery_rate(self) -> float:
+        """Bytes repaired per second of makespan."""
+        return self.repaired_bytes / self.makespan if self.makespan else 0.0
+
+
+@dataclass
+class _RecoveryTask:
+    pg: PlacementGroup
+    profile: RepairProfile
+    weight: int
+    is_rs: bool
+
+
+class _Runtime:
+    """Per-measurement simulation state (fresh env + resources)."""
+
+    def __init__(self, config: ClusterConfig, seed: int):
+        self.env = Environment()
+        self.disks = [Disk(self.env, config.disk_model, i)
+                      for i in range(config.n_disks)]
+        self.nics = [Nic(self.env, bandwidth=config.nic_bandwidth,
+                         name=f"nic-{n}") for n in range(config.n_nodes)]
+        self.rng = np.random.default_rng(seed)
+
+
+class RCStor:
+    """The storage system under one (layout, code) scheme."""
+
+    def __init__(self, config: ClusterConfig, layout: Layout, code: ErasureCode,
+                 codec: CodecModel = DEFAULT_CODEC, ecpipe: bool = False,
+                 name: str | None = None):
+        if code.k != config.k or code.r != config.r:
+            raise ValueError(f"code {code.name} does not match cluster "
+                             f"({config.k},{config.r})")
+        self.config = config
+        self.cluster = Cluster(config)
+        self.layout = layout
+        self.code = code
+        self.codec = codec
+        self.ecpipe = ecpipe
+        self.name = name or f"{layout.name}/{code.name}"
+        self.catalog = Catalog(self.cluster, layout)
+        self.profiles = ProfileCache(code)
+        self.rs_profiles = (self.profiles if isinstance(code, RSCode)
+                            else ProfileCache(RSCode(config.k, config.r)))
+        self._scalar_rebuild = isinstance(code, (RSCode, LRCCode))
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, sizes) -> list[StoredObject]:
+        """Place a batch of objects into the catalog."""
+        return self.catalog.ingest(sizes)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _codec_time(self, output_bytes: int, is_rs: bool) -> float:
+        if is_rs or self._scalar_rebuild:
+            return self.codec.decode_time(output_bytes)
+        return self.codec.regenerate_time(output_bytes)
+
+    # ------------------------------------------------------------------
+    # Normal reads
+    # ------------------------------------------------------------------
+    def _normal_read_proc(self, rt: _Runtime, obj: StoredObject, client: Link):
+        """Read an intact object: disk fetch(es) overlapped with transfer."""
+        env = rt.env
+        placement = self.catalog.placement_of(obj)
+        started = env.event()
+        if self.layout.spans_disks:
+            pg = self.cluster.pgs[obj.pg_id]
+            per_role: dict[int, int] = {}
+            for chunk in placement.chunks:
+                per_role[chunk.disk_index] = (per_role.get(chunk.disk_index, 0)
+                                              + chunk.data_bytes)
+            reads = [env.process(self._batch_read(
+                rt.disks[pg.disk_ids[role]], 1, nbytes, started))
+                for role, nbytes in per_role.items()]
+        else:
+            disk = rt.disks[self.catalog.disk_of(obj)]
+            reads = [env.process(self._batch_read(
+                disk, max(1, placement.n_chunks), obj.size, started))]
+
+        def transfer_proc():
+            yield started
+            yield env.timeout(self.config.repair_rpc_overhead)
+            yield env.process(client.transfer(obj.size))
+
+        xfer = env.process(transfer_proc())
+        yield env.all_of(reads + [xfer])
+
+    def _batch_read(self, disk: Disk, n_ios: int, nbytes: int, started):
+        req = disk.queue.request(FOREGROUND)
+        yield req
+        if not started.triggered:
+            started.succeed()
+        yield disk.env.timeout(disk.model.read_time(n_ios, nbytes))
+        disk.queue.release(req)
+        disk.bytes_read += nbytes
+        disk.n_read_ios += n_ios
+
+    def measure_normal_reads(self, objects: list[StoredObject], busy: bool = False,
+                             seed: int = 0, warmup: float = 2.0) -> list[float]:
+        """Simulate normal reads; returns per-read seconds."""
+        rt = _Runtime(self.config, seed)
+        if busy:
+            start_foreground_load(
+                rt.env, rt.disks, rt.rng,
+                utilization=self.config.foreground_utilization,
+                mean_read_bytes=self.config.foreground_read_bytes)
+        times: list[float] = []
+
+        def driver():
+            if busy:
+                yield rt.env.timeout(warmup)
+            for obj in objects:
+                client = client_link(rt.env, self.config.client_gbps)
+                t0 = rt.env.now
+                yield rt.env.process(self._normal_read_proc(rt, obj, client))
+                times.append(rt.env.now - t0)
+
+        rt.env.run(rt.env.process(driver()))
+        return times
+
+    # ------------------------------------------------------------------
+    # Degraded reads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _overlaps(chunks, byte_range):
+        """Per chunk: bytes of it inside ``byte_range`` (object data bytes).
+
+        With no range, every chunk transfers all of its data.  Range reads
+        start at the first related chunk and discard unneeded bytes (§5.2
+        "Range Access Support").
+        """
+        if byte_range is None:
+            return [c.data_bytes for c in chunks]
+        start, length = byte_range
+        end = start + length
+        out = []
+        pos = 0
+        for chunk in chunks:
+            lo = max(pos, start)
+            hi = min(pos + chunk.data_bytes, end)
+            out.append(max(0, hi - lo))
+            pos += chunk.data_bytes
+        return out
+
+    def _degraded_single_disk_proc(self, rt: _Runtime, obj: StoredObject,
+                                   client: Link, result: DegradedReadResult,
+                                   byte_range: tuple[int, int] | None = None):
+        """Geometric / Contiguous: repair chunks in order, pipeline the
+        transfer of chunk i with the repair of chunk i+1 (Figure 8)."""
+        env = rt.env
+        pg = self.cluster.pgs[obj.pg_id]
+        failed_role = obj.role
+        placement = self.catalog.placement_of(obj)
+        overlaps = self._overlaps(placement.chunks, byte_range)
+        chunks = [(c, n) for c, n in zip(placement.chunks, overlaps) if n > 0]
+        ready = [env.event() for _ in chunks]
+        server_nic = rt.nics[int(rt.rng.integers(self.config.n_nodes))]
+
+        def repair_proc():
+            t0 = env.now
+            for i, (chunk, overlap) in enumerate(chunks):
+                is_rs = chunk.code_kind == RS_KIND
+                # RS-coded fronts repair at byte granularity; regenerating
+                # chunks must repair the whole chunk and discard.
+                size = overlap if is_rs else chunk.stored_bytes
+                cache = self.rs_profiles if is_rs else self.profiles
+                profile = cache.get(failed_role, size)
+                reads = [env.process(rt.disks[pg.disk_ids[h.role]].read(
+                    h.n_ios, h.nbytes, FOREGROUND, span=h.span))
+                    for h in profile.helpers]
+                yield env.all_of(reads)
+                if not self.ecpipe:
+                    yield env.process(server_nic.transfer(profile.total_read_bytes))
+                yield env.timeout(self._codec_time(profile.output_bytes, is_rs)
+                                  + self.config.repair_rpc_overhead)
+                ready[i].succeed()
+            result.repair_time = env.now - t0
+
+        def transfer_proc():
+            t_busy = 0.0
+            for i, (chunk, overlap) in enumerate(chunks):
+                yield ready[i]
+                t0 = env.now
+                yield env.process(client.transfer(overlap))
+                t_busy += env.now - t0
+            result.transfer_time = t_busy
+
+        env.process(repair_proc())
+        yield env.process(transfer_proc())
+
+    def _degraded_striped_proc(self, rt: _Runtime, obj: StoredObject,
+                               failed_role: int, client: Link,
+                               result: DegradedReadResult,
+                               byte_range: tuple[int, int] | None = None):
+        """Stripe / Stripe-Max: fetch surviving strips in parallel, repair
+        the failed disk's strips, pipeline the client transfer in strip
+        order (§6.1's n-requests-first-k-responses rebuild)."""
+        env = rt.env
+        pg = self.cluster.pgs[obj.pg_id]
+        placement = self.catalog.placement_of(obj, failed_role)
+        overlaps = self._overlaps(placement.chunks, byte_range)
+        range_has_missing = any(
+            n > 0 and c.needs_repair
+            for c, n in zip(placement.chunks, overlaps))
+        chunks = [(c, n) for c, n in zip(placement.chunks, overlaps)
+                  if n > 0 or (c.needs_repair is False and self._scalar_rebuild
+                               and range_has_missing)]
+        server_nic = rt.nics[int(rt.rng.integers(self.config.n_nodes))]
+
+        available_done: dict[int, object] = {}
+        per_role: dict[int, int] = {}
+        for chunk, overlap in chunks:
+            if not chunk.needs_repair:
+                # Scalar row rebuild needs the *whole* surviving strips, not
+                # just the requested overlap (Table 4: Stripe reads the full
+                # object for a degraded range read).
+                nbytes = (chunk.data_bytes
+                          if self._scalar_rebuild and range_has_missing
+                          else overlap)
+                per_role[chunk.disk_index] = (per_role.get(chunk.disk_index, 0)
+                                              + nbytes)
+        for role, nbytes in per_role.items():
+            available_done[role] = env.process(
+                rt.disks[pg.disk_ids[role]].read(1, nbytes, FOREGROUND))
+
+        missing = [c for c, n in chunks if c.needs_repair and n > 0]
+        missing_bytes = sum(c.stored_bytes for c in missing)
+        repaired = env.event()
+
+        def repair_proc():
+            t0 = env.now
+            if missing:
+                if self._scalar_rebuild:
+                    # Rebuild rows from strips already being fetched plus
+                    # parity strips covering the failed disk's share.
+                    extra = [env.process(rt.disks[pg.disk_ids[self.config.k]].read(
+                        1, missing_bytes, FOREGROUND))]
+                    if isinstance(self.code, LRCCode):
+                        # Non-MDS: needs k+1 responses (§6.1) — one more read.
+                        local = self.config.k + self.code.group_of(failed_role)
+                        extra.append(env.process(rt.disks[pg.disk_ids[local]].read(
+                            1, missing_bytes, FOREGROUND)))
+                    yield env.all_of(list(available_done.values()) + extra)
+                    if not self.ecpipe:
+                        yield env.process(server_nic.transfer(missing_bytes))
+                else:
+                    # Regenerating code: batched sub-chunk reads from d helpers.
+                    batch: dict[int, list[int]] = {}
+                    for chunk in missing:
+                        prof = self.profiles.get(failed_role, chunk.stored_bytes)
+                        for h in prof.helpers:
+                            acc = batch.setdefault(h.role, [0, 0, 0])
+                            acc[0] += h.n_ios
+                            acc[1] += h.nbytes
+                            acc[2] += h.span
+                    reads = [env.process(rt.disks[pg.disk_ids[role]].read(
+                        ios, nbytes, FOREGROUND, span=span))
+                        for role, (ios, nbytes, span) in batch.items()]
+                    yield env.all_of(reads)
+                    yield env.process(server_nic.transfer(
+                        sum(b for _, b, _s in batch.values())))
+                yield env.timeout(self._codec_time(missing_bytes, is_rs=False)
+                                  + self.config.repair_rpc_overhead)
+            repaired.succeed()
+            result.repair_time = env.now - t0
+
+        def transfer_proc():
+            t_busy = 0.0
+            for chunk, overlap in chunks:
+                if overlap == 0:
+                    continue
+                if chunk.needs_repair:
+                    yield repaired
+                elif not available_done[chunk.disk_index].triggered:
+                    yield available_done[chunk.disk_index]
+                t0 = env.now
+                yield env.process(client.transfer(overlap))
+                t_busy += env.now - t0
+            result.transfer_time = t_busy
+
+        env.process(repair_proc())
+        yield env.process(transfer_proc())
+
+    def degraded_read_candidates(self, failed_disk: int) -> list[StoredObject]:
+        """Objects rendered (partially) unavailable by a disk failure."""
+        if self.layout.spans_disks:
+            return self.catalog.objects_striped_over(failed_disk)
+        return self.catalog.objects_on_disk(failed_disk)
+
+    def measure_degraded_reads(self, objects: list[StoredObject],
+                               failed_disk: int | None,
+                               busy: bool = False, seed: int = 0,
+                               warmup: float = 2.0,
+                               ranges: list[tuple[int, int]] | None = None,
+                               ) -> list[DegradedReadResult]:
+        """Sequentially measure degraded reads of the given unavailable
+        objects (optionally under foreground load).
+
+        ``failed_disk=None`` fails each object's *own* disk (rotating over
+        the data roles of its PG for striped layouts) — at paper scale a
+        single failed disk holds objects of every size, and this sampling
+        mode reproduces that coverage in scaled-down populations.
+
+        ``ranges`` (optional, one ``(offset, length)`` per object) measures
+        ranged degraded reads instead of whole-object reads (§5.2).
+        """
+        if ranges is not None and len(ranges) != len(objects):
+            raise ValueError("need one byte range per object")
+        rt = _Runtime(self.config, seed)
+        if busy:
+            start_foreground_load(
+                rt.env, rt.disks, rt.rng,
+                utilization=self.config.foreground_utilization,
+                mean_read_bytes=self.config.foreground_read_bytes)
+        results: list[DegradedReadResult] = []
+
+        def driver():
+            if busy:
+                yield rt.env.timeout(warmup)
+            for idx, obj in enumerate(objects):
+                byte_range = ranges[idx] if ranges is not None else None
+                client = client_link(rt.env, self.config.client_gbps)
+                result = DegradedReadResult(0.0, 0.0, 0.0, obj.size)
+                t0 = rt.env.now
+                if self.layout.spans_disks:
+                    if failed_disk is None:
+                        if byte_range is not None:
+                            # A ranged read is only degraded if it touches
+                            # the failed strip: fail the first strip the
+                            # range overlaps.
+                            probe = self.catalog.placement_of(obj, 0)
+                            overlaps = self._overlaps(probe.chunks, byte_range)
+                            failed_role = next(
+                                (c.disk_index for c, n in
+                                 zip(probe.chunks, overlaps) if n > 0),
+                                idx % self.config.k)
+                        else:
+                            failed_role = idx % self.config.k
+                    else:
+                        failed_role = self.cluster.pgs[obj.pg_id].role_of(
+                            failed_disk)
+                    yield rt.env.process(self._degraded_striped_proc(
+                        rt, obj, failed_role, client, result, byte_range))
+                else:
+                    yield rt.env.process(self._degraded_single_disk_proc(
+                        rt, obj, client, result, byte_range))
+                result.total_time = rt.env.now - t0
+                results.append(result)
+
+        rt.env.run(rt.env.process(driver()))
+        return results
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _build_recovery_tasks(self, failed_disk: int) -> list[_RecoveryTask]:
+        """Chunk-granularity recovery tasks, weighted by size (§5.1).
+
+        Small chunks are batched toward 4 MB requests — the paper's
+        explicit optimization for the striped baselines, which coalesces
+        scalar-code reads into sequential I/O but leaves regenerating-code
+        sub-chunk reads scattered ("the underlying data layout remains
+        unchanged").
+        """
+        tasks: list[_RecoveryTask] = []
+        unit = self.config.recovery_weight_unit
+        batch_target = 4 * MB
+        scalar = self.code.alpha == 1
+        rotation = 0
+        for pg, role, chunks, small in self.catalog.recovery_inventory(failed_disk):
+            for size, count in sorted(chunks.items()):
+                per_batch = max(1, batch_target // size) if size < batch_target else 1
+                remaining = count
+                while remaining > 0:
+                    m = min(per_batch, remaining)
+                    remaining -= m
+                    profile = self.profiles.get(role, size).scaled(m)
+                    if scalar and m > 1:
+                        # Batched scalar reads are contiguous on disk.
+                        profile = RepairProfile(
+                            profile.failed_role, profile.chunk_size,
+                            tuple(type(h)(h.role, 1, h.nbytes, h.nbytes)
+                                  for h in profile.helpers),
+                            profile.output_bytes)
+                    if scalar and isinstance(self.code, RSCode):
+                        profile = self._rotated_helpers(profile, rotation)
+                        rotation += 1
+                    weight = max(1, round(profile.output_bytes / unit))
+                    tasks.append(_RecoveryTask(pg, profile, weight, is_rs=False))
+            # RS-coded small-size-bucket, recovered in ~4 MB pieces.
+            remaining = small
+            while remaining > 0:
+                piece = min(batch_target, remaining)
+                remaining -= piece
+                profile = self._rotated_helpers(
+                    self.rs_profiles.get(role, piece), rotation)
+                rotation += 1
+                weight = max(1, round(piece / unit))
+                tasks.append(_RecoveryTask(pg, profile, weight, is_rs=True))
+        return tasks
+
+    def _rotated_helpers(self, profile: RepairProfile, rotation: int
+                         ) -> RepairProfile:
+        """Spread RS-style any-k-of-n repairs across all survivors.
+
+        The paper sends n requests and rebuilds from the first k responses
+        (§6.1); across many recovery tasks that balances load over every
+        surviving disk instead of hammering the first k.  MDS codes can
+        decode from *any* k chunks, so rotating the helper set is sound.
+        """
+        survivors = [r for r in range(self.config.n)
+                     if r != profile.failed_role]
+        need = len(profile.helpers)
+        start = rotation % len(survivors)
+        chosen = [survivors[(start + i) % len(survivors)] for i in range(need)]
+        helpers = tuple(HelperRead(new_role, h.n_ios, h.nbytes, h.span)
+                        for new_role, h in zip(chosen, profile.helpers))
+        return RepairProfile(profile.failed_role, profile.chunk_size,
+                             helpers, profile.output_bytes)
+
+    def run_node_recovery(self, node: int, seed: int = 0) -> RecoveryReport:
+        """Recover every disk of a failed node.
+
+        Placement groups span distinct nodes, so a whole-node failure costs
+        each affected PG exactly one disk — recovery stays on the optimal
+        single-failure plans, just with ``disks_per_node`` times the work.
+        """
+        if not 0 <= node < self.config.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        first = node * self.config.disks_per_node
+        failed = list(range(first, first + self.config.disks_per_node))
+        rt = _Runtime(self.config, seed)
+        env = rt.env
+        tasks: list[_RecoveryTask] = []
+        for disk in failed:
+            tasks.extend(self._build_recovery_tasks(disk))
+        done, meta = self._run_task_set(rt, deque(tasks), set(failed))
+        start = env.now
+        env.run(done)
+        makespan = env.now - start
+        total_disk_bytes = sum(d.total_bytes for d in rt.disks)
+        total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
+        return RecoveryReport(
+            makespan=makespan,
+            repaired_bytes=meta["repaired_bytes"],
+            n_tasks=meta["n_tasks"],
+            disk_bandwidth=(total_disk_bytes / makespan / self.config.n_disks
+                            if makespan else 0.0),
+            network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
+                               if makespan else 0.0),
+        )
+
+    def _build_multi_failure_tasks(self, failed_disks: list[int]
+                                   ) -> list[_RecoveryTask]:
+        """Tasks for PGs hit by more than one failure (§2.2).
+
+        Multi-erasure repair cannot use the regenerating sub-chunk trick:
+        Clay's decode needs the *full* chunks of every survivor, and scalar
+        MDS codes need any k full chunks.  Single-failure PGs still use the
+        optimal single-node profiles.
+        """
+        failed = set(failed_disks)
+        tasks: list[_RecoveryTask] = []
+        unit = self.config.recovery_weight_unit
+        batch_target = 4 * MB
+        for disk in failed_disks:
+            for pg, role, chunks, small in self.catalog.recovery_inventory(disk):
+                pg_failed_roles = sorted(pg.role_of(d) for d in failed
+                                         if d in pg)
+                if len(pg_failed_roles) <= 1:
+                    continue  # handled by the single-failure path
+                # The outer loop visits this PG once per failed disk it
+                # holds; each visit rebuilds that disk's own buckets.
+                survivors = [r for r in range(self.config.n)
+                             if r not in pg_failed_roles]
+                if self._scalar_rebuild or self.code.alpha == 1:
+                    helper_roles = survivors[: self.config.k]
+                else:
+                    helper_roles = survivors  # Clay decode reads everyone
+                for size, count in sorted(chunks.items()):
+                    per_batch = max(1, batch_target // size) \
+                        if size < batch_target else 1
+                    remaining = count
+                    while remaining > 0:
+                        m = min(per_batch, remaining)
+                        remaining -= m
+                        total = size * m
+                        helpers = tuple(HelperRead(r, max(1, m if size >= batch_target else 1),
+                                                   total, total)
+                                        for r in helper_roles)
+                        profile = RepairProfile(role, total, helpers, total)
+                        weight = max(1, round(total / unit))
+                        tasks.append(_RecoveryTask(pg, profile, weight,
+                                                   is_rs=True))
+                if small:
+                    helpers = tuple(HelperRead(r, 1, small, small)
+                                    for r in survivors[: self.config.k])
+                    profile = RepairProfile(role, small, helpers, small)
+                    tasks.append(_RecoveryTask(pg, profile,
+                                               max(1, round(small / unit)),
+                                               is_rs=True))
+        return tasks
+
+    def run_multi_failure_recovery(self, failed_disks: list[int],
+                                   seed: int = 0) -> RecoveryReport:
+        """Recover several concurrently failed disks.
+
+        PGs that lost one disk recover with the optimal single-failure
+        plans; PGs that lost several fall back to full MDS decode (the
+        dominant-cost case the paper notes is rare — >98% of failures are
+        single).
+        """
+        failed = set(failed_disks)
+        if len(failed) < 1:
+            raise ValueError("need at least one failed disk")
+        if len(failed) > self.config.r:
+            raise ValueError(f"more than r={self.config.r} concurrent "
+                             "failures cannot be guaranteed recoverable")
+        rt = _Runtime(self.config, seed)
+        env = rt.env
+        tasks: list[_RecoveryTask] = []
+        # Single-failure PGs: optimal plans, skipping multi-failure PGs.
+        for disk in failed_disks:
+            for task in self._build_recovery_tasks(disk):
+                other = [d for d in failed if d != disk and d in task.pg]
+                if not other:
+                    tasks.append(task)
+        tasks += self._build_multi_failure_tasks(sorted(failed))
+        # Helpers must not read from any failed disk.
+        alive_tasks: list[_RecoveryTask] = []
+        for task in tasks:
+            failed_roles = {task.pg.role_of(d) for d in failed if d in task.pg}
+            if any(h.role in failed_roles for h in task.profile.helpers):
+                survivors = [r for r in range(self.config.n)
+                             if r not in failed_roles]
+                need = len(task.profile.helpers)
+                rotated = tuple(
+                    HelperRead(survivors[i % len(survivors)], h.n_ios,
+                               h.nbytes, h.span)
+                    for i, h in enumerate(task.profile.helpers))
+                task = _RecoveryTask(task.pg, RepairProfile(
+                    task.profile.failed_role, task.profile.chunk_size,
+                    rotated, task.profile.output_bytes), task.weight,
+                    task.is_rs)
+            alive_tasks.append(task)
+        done, meta = self._run_task_set(rt, deque(alive_tasks), failed)
+        start = env.now
+        env.run(done)
+        makespan = env.now - start
+        total_disk_bytes = sum(d.total_bytes for d in rt.disks)
+        total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
+        return RecoveryReport(
+            makespan=makespan,
+            repaired_bytes=meta["repaired_bytes"],
+            n_tasks=meta["n_tasks"],
+            disk_bandwidth=(total_disk_bytes / makespan / self.config.n_disks
+                            if makespan else 0.0),
+            network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
+                               if makespan else 0.0),
+        )
+
+    def _start_recovery(self, rt: _Runtime, failed_disk: int,
+                        priority: int = BACKGROUND, weight_limit: int | None = None):
+        """Arm the §5.1 recovery engine in an existing runtime.
+
+        Returns ``(all_servers_done_event, meta)`` where meta carries the
+        task count and repaired byte total.
+        """
+        tasks = deque(self._build_recovery_tasks(failed_disk))
+        return self._run_task_set(rt, tasks, {failed_disk}, priority,
+                                  weight_limit)
+
+    def _run_task_set(self, rt: _Runtime, tasks: deque,
+                      failed_disks: set[int], priority: int = BACKGROUND,
+                      weight_limit: int | None = None):
+        """Drive a queue of recovery tasks through the HTTP servers."""
+        env = rt.env
+        meta = {"n_tasks": len(tasks),
+                "repaired_bytes": sum(t.profile.output_bytes for t in tasks)}
+        limit = (weight_limit if weight_limit is not None
+                 else self.config.recovery_global_weight)
+        replacement_rr = [0]
+
+        def pick_replacement(pg: PlacementGroup) -> Disk:
+            n_disks = self.config.n_disks
+            while True:
+                cand = replacement_rr[0] % n_disks
+                replacement_rr[0] += 1
+                if cand not in failed_disks and cand not in pg:
+                    return rt.disks[cand]
+
+        def run_task(task: _RecoveryTask, server_node: int):
+            reads = [env.process(rt.disks[task.pg.disk_ids[h.role]].read(
+                h.n_ios, h.nbytes, priority, span=h.span))
+                for h in task.profile.helpers]
+            yield env.all_of(reads)
+            yield env.process(rt.nics[server_node].transfer(
+                task.profile.total_read_bytes))
+            yield env.timeout(self._codec_time(task.profile.output_bytes,
+                                               task.is_rs)
+                              + self.config.repair_rpc_overhead)
+            dest = pick_replacement(task.pg)
+            yield env.process(dest.write(1, task.profile.output_bytes, priority))
+
+        def server_loop(server_node: int):
+            weight_used = [0]
+            wake = [env.event()]
+
+            def wrapper(task: _RecoveryTask):
+                yield env.process(run_task(task, server_node))
+                weight_used[0] -= task.weight
+                old, wake[0] = wake[0], env.event()
+                old.succeed()
+
+            while True:
+                if not tasks:
+                    if weight_used[0] == 0:
+                        return
+                    yield wake[0]
+                elif weight_used[0] + tasks[0].weight <= limit or weight_used[0] == 0:
+                    task = tasks.popleft()
+                    weight_used[0] += task.weight
+                    env.process(wrapper(task))
+                    # Yield the queue so servers pull round-robin rather than
+                    # one server draining the queue up to its weight cap.
+                    yield env.timeout(0)
+                else:
+                    yield wake[0]
+
+        servers = [env.process(server_loop(node))
+                   for node in range(self.config.n_nodes)]
+        return env.all_of(servers), meta
+
+    def run_recovery(self, failed_disk: int, busy: bool = False,
+                     seed: int = 0,
+                     weight_limit: int | None = None) -> RecoveryReport:
+        """Recover all PGs of a failed disk; §5.1's paralleled recovery.
+
+        Each of the ``n_nodes`` HTTP servers pulls tasks from the global
+        queue under its weight cap; a task reads from the surviving disks
+        of its PG (background priority), gathers over the server NIC,
+        regenerates, and writes to a replacement disk.
+        """
+        rt = _Runtime(self.config, seed)
+        env = rt.env
+        if busy:
+            start_foreground_load(
+                env, rt.disks, rt.rng,
+                utilization=self.config.foreground_utilization,
+                mean_read_bytes=self.config.foreground_read_bytes)
+        start = env.now
+        done, meta = self._start_recovery(rt, failed_disk,
+                                          weight_limit=weight_limit)
+        env.run(done)
+        makespan = env.now - start
+        total_disk_bytes = sum(d.total_bytes for d in rt.disks)
+        total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
+        return RecoveryReport(
+            makespan=makespan,
+            repaired_bytes=meta["repaired_bytes"],
+            n_tasks=meta["n_tasks"],
+            disk_bandwidth=(total_disk_bytes / makespan / self.config.n_disks
+                            if makespan else 0.0),
+            network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
+                               if makespan else 0.0),
+        )
+
+    def measure_degraded_reads_during_recovery(
+            self, objects: list[StoredObject], failed_disk: int,
+            recovery_priority: int = BACKGROUND,
+            seed: int = 0) -> tuple[list[DegradedReadResult], RecoveryReport]:
+        """Degraded reads issued *while* recovery runs (§5.1 IO Scheduling).
+
+        With ``recovery_priority=BACKGROUND`` (RCStor's design) foreground
+        degraded reads jump the per-disk queues ahead of recovery I/O; with
+        ``FOREGROUND`` recovery competes head-on — the ablation for the
+        paper's priority-lane design.
+        """
+        rt = _Runtime(self.config, seed)
+        env = rt.env
+        recovery_done, meta = self._start_recovery(rt, failed_disk,
+                                                   priority=recovery_priority)
+        results: list[DegradedReadResult] = []
+
+        def reader():
+            for idx, obj in enumerate(objects):
+                client = client_link(env, self.config.client_gbps)
+                result = DegradedReadResult(0.0, 0.0, 0.0, obj.size)
+                t0 = env.now
+                if self.layout.spans_disks:
+                    failed_role = idx % self.config.k
+                    yield env.process(self._degraded_striped_proc(
+                        rt, obj, failed_role, client, result))
+                else:
+                    yield env.process(self._degraded_single_disk_proc(
+                        rt, obj, client, result))
+                result.total_time = env.now - t0
+                results.append(result)
+
+        start = env.now
+        reads = env.process(reader())
+        env.run(env.all_of([recovery_done, reads]))
+        makespan = env.now - start
+        total_disk_bytes = sum(d.total_bytes for d in rt.disks)
+        total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
+        report = RecoveryReport(
+            makespan=makespan,
+            repaired_bytes=meta["repaired_bytes"],
+            n_tasks=meta["n_tasks"],
+            disk_bandwidth=(total_disk_bytes / makespan / self.config.n_disks
+                            if makespan else 0.0),
+            network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
+                               if makespan else 0.0),
+        )
+        return results, report

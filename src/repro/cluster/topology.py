@@ -1,0 +1,128 @@
+"""Cluster shape: nodes, disks, and placement groups (§5.1).
+
+A placement group (PG) is a set of ``k + r`` disks on distinct nodes; the
+position of a disk inside a PG is its *role* (code node index 0..n-1), and
+roles are rotated across PGs so that every disk plays data and parity roles
+— and, for Clay, all four Figure 2 repair cases — in equal measure.  When a
+disk fails, every PG it belongs to recovers independently, recruiting the
+bandwidth of many disks (the paper's reason for using PGs at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.disk import HDD, DiskModel
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the testbed (defaults: the paper's W1 rig)."""
+
+    n_nodes: int = 16
+    disks_per_node: int = 6
+    disk_model: DiskModel = HDD
+    k: int = 10
+    r: int = 4
+    n_pgs: int = 768
+    pg_seed: int = 1
+    client_gbps: float = 1.0
+    #: §5.1 "Paralleled Recovery": weight unit and per-server weight cap.
+    recovery_weight_unit: int = 4 * (1 << 20)
+    recovery_global_weight: int = 512
+    #: Fixed per-chunk-repair software cost: request fan-out, response
+    #: synchronisation, HTTP-server overhead ("I/O latency, synchronization,
+    #: software, etc." — §6.3 on W2 repair times).
+    repair_rpc_overhead: float = 0.002
+    #: Foreground (busy-system) load shape: per-disk read size and target
+    #: disk utilization (§6.2 Methodology; set per workload).
+    foreground_read_bytes: int = 32 * (1 << 20)
+    foreground_utilization: float = 0.5
+    #: Per-node NIC goodput (56 Gbps IPoIB in the paper's testbed ~ 6.5
+    #: GB/s); lower it to study network-bound repair (the ECPipe regime).
+    nic_bandwidth: float = 50 * 125 * (1 << 20)
+
+    def __post_init__(self):
+        if self.n_nodes < self.k + self.r:
+            raise ValueError(
+                f"need at least k+r={self.k + self.r} nodes, have {self.n_nodes}")
+        if self.disks_per_node < 1 or self.n_pgs < 1:
+            raise ValueError("invalid cluster shape")
+
+    @property
+    def n(self) -> int:
+        """Total nodes/disks in the stripe (k + r)."""
+        return self.k + self.r
+
+    @property
+    def n_disks(self) -> int:
+        """Total disk count in the cluster."""
+        return self.n_nodes * self.disks_per_node
+
+    def node_of(self, disk_id: int) -> int:
+        """Node index hosting a global disk id."""
+        return disk_id // self.disks_per_node
+
+
+@dataclass(frozen=True)
+class PlacementGroup:
+    """An ordered set of disks; index in ``disk_ids`` is the code role."""
+
+    pg_id: int
+    disk_ids: tuple[int, ...]
+
+    def role_of(self, disk_id: int) -> int:
+        """Code-node index (role) of a disk within this PG."""
+        return self.disk_ids.index(disk_id)
+
+    def __contains__(self, disk_id: int) -> bool:
+        return disk_id in self.disk_ids
+
+
+@dataclass
+class Cluster:
+    """The static cluster: config plus the PG map."""
+
+    config: ClusterConfig
+    pgs: list[PlacementGroup] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.pgs:
+            self.pgs = list(_build_pgs(self.config))
+        self._pgs_of_disk: dict[int, list[PlacementGroup]] = {}
+        for pg in self.pgs:
+            for disk in pg.disk_ids:
+                self._pgs_of_disk.setdefault(disk, []).append(pg)
+
+    def pgs_of_disk(self, disk_id: int) -> list[PlacementGroup]:
+        """All placement groups a disk belongs to."""
+        return self._pgs_of_disk.get(disk_id, [])
+
+
+def _build_pgs(config: ClusterConfig):
+    """Randomised, balanced PG construction (seeded, deterministic).
+
+    Each PG picks ``n`` distinct nodes at random and, within every chosen
+    node, its least-PG-loaded disk — spreading membership (and therefore
+    recovery helper traffic) evenly across all disks, like Ceph's CRUSH
+    with the paper's "maximal amount of disks correlated to recovery"
+    directory policy.  Roles rotate per PG so every disk plays all code
+    node indices (and all four Clay repair cases) across its PGs.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(config.pg_seed)
+    n = config.n
+    load = [0] * config.n_disks
+    for p in range(config.n_pgs):
+        nodes = rng.permutation(config.n_nodes)[:n]
+        disks = []
+        for node in nodes:
+            first = int(node) * config.disks_per_node
+            candidates = range(first, first + config.disks_per_node)
+            best = min(candidates, key=lambda d: (load[d], d))
+            load[best] += 1
+            disks.append(best)
+        rotation = p % n
+        disks = disks[rotation:] + disks[:rotation]
+        yield PlacementGroup(p, tuple(disks))

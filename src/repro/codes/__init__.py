@@ -1,0 +1,37 @@
+"""Erasure codes: RS, LRC, Hitchhiker, and Clay (MSR).
+
+All codes share the :class:`~repro.codes.base.ErasureCode` interface —
+encode/decode/repair on real byte buffers plus :class:`RepairPlan` metadata
+describing exactly which byte ranges a repair reads (consumed by the storage
+simulator for I/O modelling).
+"""
+
+from repro.codes.base import (
+    DecodeError,
+    ErasureCode,
+    ReadSegment,
+    RepairPlan,
+    ScalarLinearCode,
+    extract_reads,
+)
+from repro.codes.clay import ClayCode
+from repro.codes.hitchhiker import HitchhikerCode
+from repro.codes.local_regenerating import LocalRegeneratingCode
+from repro.codes.lrc import LRCCode
+from repro.codes.product_matrix import ProductMatrixMBR
+from repro.codes.rs import RSCode
+
+__all__ = [
+    "DecodeError",
+    "ErasureCode",
+    "ReadSegment",
+    "RepairPlan",
+    "ScalarLinearCode",
+    "extract_reads",
+    "ClayCode",
+    "HitchhikerCode",
+    "LRCCode",
+    "LocalRegeneratingCode",
+    "ProductMatrixMBR",
+    "RSCode",
+]

@@ -1,0 +1,410 @@
+"""Clay codes (Vajha et al., FAST'18) — coupled-layer MSR codes.
+
+This is a complete construction, not a model: encode, decode of any
+``<= r`` erasures, and repair-optimal single-node recovery all operate on
+real bytes and are exercised by the test-suite.
+
+Construction recap
+------------------
+Take ``q = r`` and ``t = ceil(n / q)``; nodes live on a ``q x t`` grid
+(slots), with ``q*t - n`` *virtual* (shortened) slots whose stored chunks are
+identically zero.  Each chunk consists of ``alpha = q**t`` sub-chunks indexed
+by ``z = (z_0, ..., z_{t-1})`` in ``Z_q^t``.  A virtual *uncoupled* array U
+is related to the stored *coupled* array C by a pairwise reversible
+transform: the vertex ``(x, y, z)`` with ``z_y != x`` is paired with
+``(z_y, y, z(y -> x))`` and
+
+    C(x, y, z) = U(x, y, z) + gamma * U(z_y, y, z(y -> x)),
+
+while diagonal vertices (``z_y == x``) satisfy ``C = U``.  In the uncoupled
+domain every layer (fixed z) is a codeword of a scalar (q*t, q*t - q) MDS
+code.  The transform matrix ``[[1, gamma], [gamma, 1]]`` is invertible over
+GF(256) whenever ``gamma not in {0, 1}``.
+
+Decoding uses the paper's sequential *intersection score* schedule, and
+single-node repair reads only the ``beta = alpha / q`` layers whose
+``y0``-th digit equals the failed column position ``x0`` — from all
+``d = n - 1`` survivors, giving the optimal repair traffic
+``(n-1)/q`` chunks (3.25 for Clay(10,4); Table 1).
+
+Sub-chunks are stored in the order ``sum(z_y * q**(t-1-y))``, which makes
+the repair reads of a column-``y`` node fall into ``q**y`` contiguous runs of
+``q**(t-1-y)`` sub-chunks — exactly the four fragmentation cases of the
+paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.codes.base import (
+    DecodeError,
+    ErasureCode,
+    ReadSegment,
+    RepairPlan,
+)
+from repro.gf.field import gf_inv, gf_mul, gf_xor_mul_into
+from repro.gf.matrix import mat_inv, vandermonde
+from repro.gf.solve import GFLinearSystem
+
+
+class ClayCode(ErasureCode):
+    """Clay (coupled-layer) MSR code with ``d = n - 1`` helpers."""
+
+    def __init__(self, k: int, r: int, gamma: int = 2):
+        if k <= 0 or r <= 1:
+            raise ValueError("Clay needs k >= 1 and r >= 2")
+        if gamma in (0, 1):
+            raise ValueError("gamma must not be 0 or 1 (transform must invert)")
+        self.k = k
+        self.r = r
+        self.q = r
+        self.t = -(-self.n // self.q)  # ceil
+        self.num_slots = self.q * self.t
+        self.alpha = self.q ** self.t
+        self.beta = self.alpha // self.q
+        self.gamma = gamma
+        #: helpers contacted during single-node repair
+        self.d = self.n - 1
+        self._pair_inv = gf_inv(1 ^ gf_mul(gamma, gamma))  # (1 + gamma^2)^-1
+        #: parity-check of the per-layer scalar MDS code over all slots
+        self._H = vandermonde(self.q, list(range(1, self.num_slots + 1)))
+        #: all layers in storage order; layer y-digit z[y] weighs q**(t-1-y)
+        self._layers: list[tuple[int, ...]] = list(product(range(self.q), repeat=self.t))
+        self._layer_index = {z: i for i, z in enumerate(self._layers)}
+        self._repair_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Grid geometry
+    # ------------------------------------------------------------------
+    def slot_xy(self, slot: int) -> tuple[int, int]:
+        """Grid coordinates (x = row-in-column, y = column) of a slot."""
+        return slot % self.q, slot // self.q
+
+    def xy_slot(self, x: int, y: int) -> int:
+        return x + self.q * y
+
+    def is_virtual(self, slot: int) -> bool:
+        """Shortened slots store identically-zero chunks."""
+        return slot >= self.n
+
+    def companion(self, slot: int, z: tuple[int, ...]) -> tuple[int, tuple[int, ...]] | None:
+        """Paired (slot, layer) of vertex ``(slot, z)``; None on the diagonal."""
+        x, y = self.slot_xy(slot)
+        if z[y] == x:
+            return None
+        other = self.xy_slot(z[y], y)
+        z_other = z[:y] + (x,) + z[y + 1:]
+        return other, z_other
+
+    @property
+    def is_mds(self) -> bool:
+        return True
+
+    @property
+    def name(self) -> str:
+        return f"Clay({self.k},{self.r})"
+
+    def repair_layer_indices(self, failed: int) -> list[int]:
+        """Storage indices of the beta layers read to repair ``failed``."""
+        x0, y0 = self.slot_xy(failed)
+        return [i for i, z in enumerate(self._layers) if z[y0] == x0]
+
+    # ------------------------------------------------------------------
+    # Pairwise transforms (operate on (L,)-byte vectors)
+    # ------------------------------------------------------------------
+    def _couple(self, u_own: np.ndarray, u_comp: np.ndarray) -> np.ndarray:
+        """C = U_own + gamma * U_companion."""
+        out = u_own.copy()
+        gf_xor_mul_into(out, self.gamma, u_comp)
+        return out
+
+    def _decouple_cc(self, c_own: np.ndarray, c_comp: np.ndarray) -> np.ndarray:
+        """U_own from the two coupled values of a pair."""
+        mixed = c_own.copy()
+        gf_xor_mul_into(mixed, self.gamma, c_comp)
+        out = np.zeros_like(mixed)
+        gf_xor_mul_into(out, self._pair_inv, mixed)
+        return out
+
+    def _decouple_cu(self, c_own: np.ndarray, u_comp: np.ndarray) -> np.ndarray:
+        """U_own from own coupled value and companion's uncoupled value."""
+        out = c_own.copy()
+        gf_xor_mul_into(out, self.gamma, u_comp)
+        return out
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, data_chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        if len(data_chunks) != self.k:
+            raise ValueError(f"need {self.k} data chunks, got {len(data_chunks)}")
+        chunk_size = data_chunks[0].shape[0]
+        self._check_chunk_size(chunk_size)
+        for c in data_chunks:
+            self._check_chunk(c, chunk_size)
+        available = {i: data_chunks[i] for i in range(self.k)}
+        parity_nodes = list(range(self.k, self.n))
+        decoded = self.decode(available, parity_nodes, chunk_size)
+        return [decoded[i] for i in parity_nodes]
+
+    def _intersection_score(self, z: tuple[int, ...], erased: set[int]) -> int:
+        return sum(1 for y in range(self.t) if self.xy_slot(z[y], y) in erased)
+
+    def decode(self, available: Mapping[int, np.ndarray], erased: Sequence[int],
+               chunk_size: int) -> dict[int, np.ndarray]:
+        self._check_chunk_size(chunk_size)
+        erased_set = set(erased)
+        if len(erased_set) > self.r:
+            raise DecodeError(f"cannot decode {len(erased_set)} > r={self.r} erasures")
+        for node in erased_set:
+            if not 0 <= node < self.n:
+                raise DecodeError(f"erased node {node} out of range")
+        needed = [i for i in range(self.n) if i not in erased_set]
+        missing = [i for i in needed if i not in available]
+        if missing:
+            raise DecodeError(f"decode requires all surviving chunks; missing {missing}")
+        sub = chunk_size // self.alpha
+
+        # Stored (coupled) arrays: (alpha, sub) per slot; virtual slots zero.
+        c_arr: list[np.ndarray | None] = []
+        for slot in range(self.num_slots):
+            if slot in erased_set:
+                c_arr.append(np.zeros((self.alpha, sub), dtype=np.uint8))
+            elif self.is_virtual(slot):
+                c_arr.append(np.zeros((self.alpha, sub), dtype=np.uint8))
+            else:
+                chunk = available[slot]
+                self._check_chunk(chunk, chunk_size)
+                c_arr.append(chunk.reshape(self.alpha, sub))
+        u_arr = [np.zeros((self.alpha, sub), dtype=np.uint8) for _ in range(self.num_slots)]
+
+        order = sorted(range(self.alpha),
+                       key=lambda zi: self._intersection_score(self._layers[zi], erased_set))
+        erased_sorted = sorted(erased_set)
+        inv_sub = None
+        if erased_sorted:
+            cols = self._H[:len(erased_sorted), erased_sorted]
+            inv_sub = mat_inv(cols)
+
+        for zi in order:
+            z = self._layers[zi]
+            for slot in range(self.num_slots):
+                if slot in erased_set:
+                    continue
+                comp = self.companion(slot, z)
+                if comp is None:
+                    u_arr[slot][zi] = c_arr[slot][zi]
+                    continue
+                comp_slot, comp_z = comp
+                comp_zi = self._layer_index[comp_z]
+                if comp_slot in erased_set:
+                    # Companion layer has strictly lower score: already solved.
+                    u_arr[slot][zi] = self._decouple_cu(
+                        c_arr[slot][zi], u_arr[comp_slot][comp_zi])
+                else:
+                    u_arr[slot][zi] = self._decouple_cc(
+                        c_arr[slot][zi], c_arr[comp_slot][comp_zi])
+            if not erased_sorted:
+                continue
+            # MDS-solve this layer in the uncoupled domain.
+            e = len(erased_sorted)
+            rhs = np.zeros((e, sub), dtype=np.uint8)
+            for j in range(e):
+                for slot in range(self.num_slots):
+                    if slot not in erased_set:
+                        gf_xor_mul_into(rhs[j], int(self._H[j, slot]), u_arr[slot][zi])
+            for row, slot in enumerate(erased_sorted):
+                acc = np.zeros(sub, dtype=np.uint8)
+                for j in range(e):
+                    gf_xor_mul_into(acc, int(inv_sub[row, j]), rhs[j])
+                u_arr[slot][zi] = acc
+
+        # Re-couple the erased slots.
+        out: dict[int, np.ndarray] = {}
+        for slot in erased_sorted:
+            c_out = np.zeros((self.alpha, sub), dtype=np.uint8)
+            for zi, z in enumerate(self._layers):
+                comp = self.companion(slot, z)
+                if comp is None:
+                    c_out[zi] = u_arr[slot][zi]
+                else:
+                    comp_slot, comp_z = comp
+                    c_out[zi] = self._couple(
+                        u_arr[slot][zi], u_arr[comp_slot][self._layer_index[comp_z]])
+            out[slot] = c_out.reshape(-1)
+        return out
+
+    # ------------------------------------------------------------------
+    # Optimal single-node repair
+    # ------------------------------------------------------------------
+    def repair_plan(self, failed: int, chunk_size: int) -> RepairPlan:
+        self._check_chunk_size(chunk_size)
+        if not 0 <= failed < self.n:
+            raise ValueError(f"node {failed} out of range")
+        sub = chunk_size // self.alpha
+        indices = self.repair_layer_indices(failed)
+        # Merge consecutive storage indices into contiguous runs.
+        runs: list[tuple[int, int]] = []
+        start = prev = indices[0]
+        for zi in indices[1:]:
+            if zi == prev + 1:
+                prev = zi
+                continue
+            runs.append((start, prev - start + 1))
+            start = prev = zi
+        runs.append((start, prev - start + 1))
+        segments = []
+        for node in range(self.n):
+            if node == failed:
+                continue
+            for run_start, run_len in runs:
+                segments.append(ReadSegment(node, run_start * sub, run_len * sub))
+        return RepairPlan((failed,), chunk_size, segments)
+
+    def _column_slots(self, y0: int) -> list[int]:
+        return [self.xy_slot(x, y0) for x in range(self.q)]
+
+    def _repair_solution(self, failed: int) -> np.ndarray:
+        """Cached solve matrix for the repair linear system of ``failed``.
+
+        Unknowns (count 2*alpha - beta):
+          * ``x * beta + pos`` — U of column slot (x, y0) in repair layer pos,
+            for all x (x = x0 is the failed node's own U = C there);
+          * ``q * beta + npos`` — U of the failed slot in non-repair layer npos.
+        Inputs (count beta * (num_slots - 1)):
+          * U of every non-column slot in every repair layer (computed from
+            the reads via pairwise decoupling), then
+          * C of every surviving column slot in every repair layer.
+        """
+        if failed in self._repair_cache:
+            return self._repair_cache[failed]
+        x0, y0 = self.slot_xy(failed)
+        q, beta = self.q, self.beta
+        repair = self.repair_layer_indices(failed)
+        repair_pos = {zi: p for p, zi in enumerate(repair)}
+        non_repair = [zi for zi in range(self.alpha) if zi not in repair_pos]
+        non_repair_pos = {zi: p for p, zi in enumerate(non_repair)}
+        col = self._column_slots(y0)
+        non_col = [s for s in range(self.num_slots) if s not in col]
+        non_col_rank = {s: i for i, s in enumerate(non_col)}
+        col_helpers = [s for s in col if s != failed]
+        col_rank = {s: i for i, s in enumerate(col_helpers)}
+        n_unknowns = q * beta + (self.alpha - beta)
+        n_inputs = beta * len(non_col) + beta * len(col_helpers)
+        c_input_base = beta * len(non_col)
+
+        def uid_col(x: int, pos: int) -> int:
+            return x * beta + pos
+
+        def uid_failed_nr(npos: int) -> int:
+            return q * beta + npos
+
+        system = GFLinearSystem(n_unknowns, n_inputs)
+        for zi in repair:
+            z = self._layers[zi]
+            pos = repair_pos[zi]
+            # Parity checks of this layer in the uncoupled domain.
+            for j in range(q):
+                unknowns: dict[int, int] = {}
+                inputs: dict[int, int] = {}
+                for slot in range(self.num_slots):
+                    coeff = int(self._H[j, slot])
+                    if not coeff:
+                        continue
+                    x, y = self.slot_xy(slot)
+                    if y == y0:
+                        key = uid_col(x, pos)
+                        unknowns[key] = unknowns.get(key, 0) ^ coeff
+                    else:
+                        key = non_col_rank[slot] * beta + pos
+                        inputs[key] = inputs.get(key, 0) ^ coeff
+                system.add_equation(unknowns, inputs)
+            # Pairwise coupling of surviving column slots with the failed
+            # node's non-repair-layer sub-chunks:
+            #   C(x, y0, z) = U(x, y0, z) + gamma * U(failed, z(y0 -> x)).
+            for x in range(q):
+                if x == x0:
+                    continue
+                slot = self.xy_slot(x, y0)
+                z_comp = z[:y0] + (x,) + z[y0 + 1:]
+                npos = non_repair_pos[self._layer_index[z_comp]]
+                unknowns = {uid_col(x, pos): 1, uid_failed_nr(npos): self.gamma}
+                inputs = {}
+                if not self.is_virtual(slot):
+                    inputs[c_input_base + col_rank[slot] * beta + pos] = 1
+                system.add_equation(unknowns, inputs)
+        solution = system.solve()
+        self._repair_cache[failed] = solution
+        return solution
+
+    def repair(self, failed: int, reads: Mapping[int, np.ndarray],
+               chunk_size: int) -> np.ndarray:
+        """Repair ``failed`` from the beta repair-layer sub-chunks of each of
+        the d = n-1 survivors (wire format of :func:`extract_reads`)."""
+        from repro.gf.field import MUL_TABLE
+
+        self._check_chunk_size(chunk_size)
+        sub = chunk_size // self.alpha
+        x0, y0 = self.slot_xy(failed)
+        q, beta = self.q, self.beta
+        repair = self.repair_layer_indices(failed)
+        repair_pos = {zi: p for p, zi in enumerate(repair)}
+        non_repair = [zi for zi in range(self.alpha) if zi not in repair_pos]
+        col = self._column_slots(y0)
+        non_col = [s for s in range(self.num_slots) if s not in col]
+        col_helpers = [s for s in col if s != failed]
+
+        # Per-slot coupled data restricted to the repair layers.
+        c_read: list[np.ndarray] = []
+        for slot in range(self.num_slots):
+            if slot == failed or self.is_virtual(slot) or slot not in reads:
+                c_read.append(np.zeros((beta, sub), dtype=np.uint8))
+            else:
+                c_read.append(reads[slot].reshape(beta, sub))
+
+        # Step 1: decouple every non-column slot inside the repair layers.
+        inputs = np.zeros((beta * len(non_col) + beta * len(col_helpers), sub),
+                          dtype=np.uint8)
+        for rank, slot in enumerate(non_col):
+            for pos, zi in enumerate(repair):
+                z = self._layers[zi]
+                comp = self.companion(slot, z)
+                if comp is None:
+                    inputs[rank * beta + pos] = c_read[slot][pos]
+                else:
+                    comp_slot, comp_z = comp
+                    comp_pos = repair_pos[self._layer_index[comp_z]]
+                    inputs[rank * beta + pos] = self._decouple_cc(
+                        c_read[slot][pos], c_read[comp_slot][comp_pos])
+        base = beta * len(non_col)
+        for rank, slot in enumerate(col_helpers):
+            inputs[base + rank * beta:base + (rank + 1) * beta] = c_read[slot]
+
+        # Step 2: apply the cached solve matrix.
+        solution = self._repair_solution(failed)
+        unknowns = np.zeros((solution.shape[0], sub), dtype=np.uint8)
+        for i in range(solution.shape[0]):
+            row = solution[i]
+            nz = np.nonzero(row)[0]
+            if nz.size:
+                unknowns[i] = np.bitwise_xor.reduce(
+                    MUL_TABLE[row[nz][:, None], inputs[nz]], axis=0)
+
+        # Step 3: assemble the lost coupled chunk.
+        out = np.zeros((self.alpha, sub), dtype=np.uint8)
+        for pos, zi in enumerate(repair):
+            out[zi] = unknowns[x0 * beta + pos]  # diagonal: C = U
+        non_repair_pos = {zi: p for p, zi in enumerate(non_repair)}
+        for zi in non_repair:
+            z = self._layers[zi]
+            x = z[y0]
+            z_comp = z[:y0] + (x0,) + z[y0 + 1:]
+            comp_pos = repair_pos[self._layer_index[z_comp]]
+            u_failed = unknowns[q * beta + non_repair_pos[zi]]
+            u_comp = unknowns[x * beta + comp_pos]
+            out[zi] = self._couple(u_failed, u_comp)
+        return out.reshape(-1)

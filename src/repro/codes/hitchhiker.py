@@ -1,0 +1,220 @@
+"""Hitchhiker-XOR (Rashmi et al., SIGCOMM'14).
+
+A non-optimal regenerating code used as a baseline in the paper's Figures 9
+and 10 ("HH").  Each chunk is split into two sub-chunks (alpha = 2), forming
+two RS substripes ``a`` and ``b``; the second substripe's parities 2..r are
+"piggybacked" with XORs of first-substripe data from disjoint groups.  Repair
+of a data node then reads the full ``b`` substripe minus one, a single
+piggybacked parity sub-chunk, and the group's ``a`` sub-chunks — about 65%
+of RS repair traffic for (10,4) — while staying MDS.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.codes.base import (
+    DecodeError,
+    ErasureCode,
+    ReadSegment,
+    RepairPlan,
+)
+from repro.codes.rs import RSCode
+from repro.gf.field import gf_xor_mul_into
+from repro.gf.matrix import mat_rank
+from repro.gf.solve import GFLinearSystem, UnderdeterminedSystemError
+
+
+def _make_groups(k: int, r: int) -> list[list[int]]:
+    """Partition data nodes into r-1 near-equal groups for parities 2..r."""
+    n_groups = r - 1
+    base = k // n_groups
+    extra = k % n_groups
+    groups = []
+    start = 0
+    for g in range(n_groups):
+        size = base + (1 if g >= n_groups - extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+class HitchhikerCode(ErasureCode):
+    """Hitchhiker-XOR over a Cauchy RS(k, r) base code."""
+
+    alpha = 2
+
+    def __init__(self, k: int, r: int):
+        if r < 2:
+            raise ValueError("Hitchhiker needs r >= 2 (parities 2..r carry piggybacks)")
+        self.k = k
+        self.r = r
+        self._rs = RSCode(k, r)
+        #: groups[j] lists the data nodes piggybacked onto parity j+2.
+        self.groups = _make_groups(k, r)
+        self._symbol_rows = self._build_symbol_rows()
+
+    @property
+    def is_mds(self) -> bool:
+        return True
+
+    @property
+    def name(self) -> str:
+        return f"Hitchhiker({self.k},{self.r})"
+
+    def group_of(self, data_node: int) -> int:
+        """Piggyback group index of a data node."""
+        for g, members in enumerate(self.groups):
+            if data_node in members:
+                return g
+        raise ValueError(f"{data_node} is not a data node")
+
+    # ------------------------------------------------------------------
+    # Symbol-level linear structure (for generic decode)
+    # ------------------------------------------------------------------
+    def _build_symbol_rows(self) -> np.ndarray:
+        """(2n x 2k) matrix mapping data symbols (a_0..a_k-1, b_0..b_k-1)
+        to stored symbols (node 0 sub 0, node 0 sub 1, node 1 sub 0, ...)."""
+        k, r = self.k, self.r
+        parity = self._rs.generator[k:]
+        rows = np.zeros((2 * (k + r), 2 * k), dtype=np.uint8)
+        for i in range(k):
+            rows[2 * i, i] = 1          # a_i
+            rows[2 * i + 1, k + i] = 1  # b_i
+        for j in range(r):
+            node = k + j
+            rows[2 * node, :k] = parity[j]          # f_{j+1}(a)
+            rows[2 * node + 1, k:] = parity[j]      # f_{j+1}(b) ...
+            if j >= 1:                              # ... plus the piggyback
+                for member in self.groups[j - 1]:
+                    rows[2 * node + 1, member] ^= 1
+        return rows
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+    def _split(self, chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        half = chunk.shape[0] // 2
+        return chunk[:half], chunk[half:]
+
+    def encode(self, data_chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        if len(data_chunks) != self.k:
+            raise ValueError(f"need {self.k} data chunks, got {len(data_chunks)}")
+        chunk_size = data_chunks[0].shape[0]
+        self._check_chunk_size(chunk_size)
+        for c in data_chunks:
+            self._check_chunk(c, chunk_size)
+        a = [self._split(c)[0] for c in data_chunks]
+        b = [self._split(c)[1] for c in data_chunks]
+        fa = self._rs.encode(a)
+        fb = self._rs.encode(b)
+        parities = []
+        for j in range(self.r):
+            second = fb[j].copy()
+            if j >= 1:
+                for member in self.groups[j - 1]:
+                    np.bitwise_xor(second, a[member], out=second)
+            parities.append(np.concatenate([fa[j], second]))
+        return parities
+
+    def decode(self, available: Mapping[int, np.ndarray], erased: Sequence[int],
+               chunk_size: int) -> dict[int, np.ndarray]:
+        self._check_chunk_size(chunk_size)
+        half = chunk_size // 2
+        erased = sorted(set(erased))
+        usable = sorted(set(available) - set(erased))
+        symbol_ids = [2 * node + s for node in usable for s in (0, 1)]
+        rows = self._symbol_rows[symbol_ids]
+        if mat_rank(rows) < 2 * self.k:
+            raise DecodeError(f"erasure pattern {erased} not decodable")
+        system = GFLinearSystem(2 * self.k, len(symbol_ids))
+        for idx, sym in enumerate(symbol_ids):
+            system.add_equation(
+                {j: int(self._symbol_rows[sym, j]) for j in range(2 * self.k)
+                 if self._symbol_rows[sym, j]},
+                {idx: 1})
+        try:
+            solution = system.solve()
+        except UnderdeterminedSystemError as exc:  # pragma: no cover
+            raise DecodeError(str(exc)) from exc
+        inputs = []
+        for node in usable:
+            self._check_chunk(available[node], chunk_size)
+            inputs.append(available[node][:half])
+            inputs.append(available[node][half:])
+        data_syms = []
+        for j in range(2 * self.k):
+            acc = np.zeros(half, dtype=np.uint8)
+            for idx in range(len(symbol_ids)):
+                gf_xor_mul_into(acc, int(solution[j, idx]), inputs[idx])
+            data_syms.append(acc)
+        out: dict[int, np.ndarray] = {}
+        for node in erased:
+            chunk = np.zeros(chunk_size, dtype=np.uint8)
+            for s in (0, 1):
+                row = self._symbol_rows[2 * node + s]
+                acc = chunk[s * half:(s + 1) * half]
+                for j in range(2 * self.k):
+                    gf_xor_mul_into(acc, int(row[j]), data_syms[j])
+            out[node] = chunk
+        return out
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair_plan(self, failed: int, chunk_size: int) -> RepairPlan:
+        self._check_chunk_size(chunk_size)
+        if not 0 <= failed < self.n:
+            raise ValueError(f"node {failed} out of range")
+        half = chunk_size // 2
+        if failed >= self.k:
+            # Parity repair falls back to full RS-style re-encode.
+            segments = [ReadSegment(node, 0, chunk_size) for node in range(self.k)]
+            return RepairPlan((failed,), chunk_size, segments)
+        group = self.group_of(failed)
+        segments = []
+        for node in range(self.k):
+            if node == failed:
+                continue
+            segments.append(ReadSegment(node, half, half))   # b_l
+            if node in self.groups[group]:
+                segments.append(ReadSegment(node, 0, half))  # a_l of the group
+        segments.append(ReadSegment(self.k, half, half))      # f_1(b)
+        segments.append(ReadSegment(self.k + group + 1, half, half))  # piggybacked g
+        return RepairPlan((failed,), chunk_size, segments)
+
+    def repair(self, failed: int, reads: Mapping[int, np.ndarray],
+               chunk_size: int) -> np.ndarray:
+        half = chunk_size // 2
+        if failed >= self.k:
+            data = [reads[node] for node in range(self.k)]
+            return self.encode(data)[failed - self.k]
+        group = self.group_of(failed)
+        # Unpack the wire format: group members sent [a_l, b_l] (offset
+        # order), other data nodes sent just [b_l].
+        b_avail: dict[int, np.ndarray] = {}
+        a_group: dict[int, np.ndarray] = {}
+        for node in range(self.k):
+            if node == failed:
+                continue
+            if node in self.groups[group]:
+                a_group[node] = reads[node][:half]
+                b_avail[node] = reads[node][half:]
+            else:
+                b_avail[node] = reads[node][:half]
+        b_avail[self.k] = reads[self.k]              # f_1(b)
+        piggy = reads[self.k + group + 1]            # f_{g+2}(b) + XOR(a_group)
+        # 1. Decode the b substripe from k of its symbols.
+        b_data = self._rs._solve_data(b_avail, half)
+        b_failed = b_data[failed]
+        # 2. Peel the piggyback to recover a_failed.
+        fb = np.zeros(half, dtype=np.uint8)
+        prow = self._rs.generator[self.k + group + 1]
+        for j in range(self.k):
+            gf_xor_mul_into(fb, int(prow[j]), b_data[j])
+        a_failed = piggy ^ fb
+        for node, a_val in a_group.items():
+            np.bitwise_xor(a_failed, a_val, out=a_failed)
+        return np.concatenate([a_failed, b_failed])

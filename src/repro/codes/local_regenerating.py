@@ -1,0 +1,216 @@
+"""Codes with local regeneration (§8; Kamath et al., ISIT'13).
+
+The paper's discussion notes that LRC's *locality* and regenerating codes'
+*bandwidth optimality* compose: build each local group as its own small
+regenerating (Clay) code and add RS global parities across all data.  A
+single failure then repairs *within its group* at the group's MSR-optimal
+traffic — both fewer helpers (locality, good across data centers) and
+fewer bytes (regeneration).  This module implements that composition on
+real bytes, reusing :class:`~repro.codes.clay.ClayCode` and
+:class:`~repro.codes.rs.RSCode`.
+
+Layout of a stripe (``k`` data, ``l`` groups, ``local_r`` local parities
+per group, ``g`` globals)::
+
+    [group 0 data][group 1 data]...[group 0 locals][group 1 locals]...[globals]
+
+Single-failure repair:
+
+* data or local-parity node -> Clay repair inside its group:
+  reads ``(k/l + local_r - 1) / local_r`` chunks from group members only;
+* global parity -> re-encode from the k data nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.codes.base import (
+    DecodeError,
+    ErasureCode,
+    ReadSegment,
+    RepairPlan,
+)
+from repro.codes.clay import ClayCode
+from repro.codes.rs import RSCode
+
+
+class LocalRegeneratingCode(ErasureCode):
+    """LRC whose local groups are Clay (MSR) codes."""
+
+    def __init__(self, k: int, l: int, local_r: int, g: int):
+        if k <= 0 or l <= 0 or local_r < 2 or g < 0:
+            raise ValueError("invalid parameters (local_r >= 2 for Clay groups)")
+        if k % l:
+            raise ValueError(f"k={k} must divide into l={l} equal groups")
+        self.k = k
+        self.l = l
+        self.local_r = local_r
+        self.g = g
+        self.group_k = k // l
+        self.local = ClayCode(self.group_k, local_r)
+        self.globals_code = RSCode(k, g) if g else None
+        #: r in the ErasureCode sense: all non-data nodes.
+        self.r = l * local_r + g
+        self.alpha = self.local.alpha
+
+    @property
+    def is_mds(self) -> bool:
+        """Never MDS: local groups cannot absorb arbitrary failure mixes."""
+        return False
+
+    @property
+    def name(self) -> str:
+        return f"LocalClay({self.k},{self.l}x{self.local_r},+{self.g})"
+
+    # ------------------------------------------------------------------
+    # Node geometry
+    # ------------------------------------------------------------------
+    def group_of(self, node: int) -> int | None:
+        """Group index of a node; None for global parities."""
+        if node < self.k:
+            return node // self.group_k
+        if node < self.k + self.l * self.local_r:
+            return (node - self.k) // self.local_r
+        return None
+
+    def group_nodes(self, group: int) -> list[int]:
+        """All nodes of one group: its data then its local parities."""
+        data = list(range(group * self.group_k, (group + 1) * self.group_k))
+        base = self.k + group * self.local_r
+        return data + list(range(base, base + self.local_r))
+
+    def _group_role(self, node: int, group: int) -> int:
+        """Code-node index of ``node`` inside its group's Clay code."""
+        members = self.group_nodes(group)
+        return members.index(node)
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, data_chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Local Clay parities per group, then RS global parities."""
+        if len(data_chunks) != self.k:
+            raise ValueError(f"need {self.k} data chunks, got {len(data_chunks)}")
+        chunk_size = data_chunks[0].shape[0]
+        self._check_chunk_size(chunk_size)
+        parities: list[np.ndarray] = []
+        for group in range(self.l):
+            group_data = data_chunks[group * self.group_k:
+                                     (group + 1) * self.group_k]
+            parities.extend(self.local.encode(list(group_data)))
+        if self.globals_code:
+            parities.extend(self.globals_code.encode(list(data_chunks)))
+        return parities
+
+    def decode(self, available: Mapping[int, np.ndarray], erased: Sequence[int],
+               chunk_size: int) -> dict[int, np.ndarray]:
+        """Local decode where groups can self-heal; globals mop up the rest.
+
+        Handles every pattern with <= local_r failures per group, plus
+        patterns where the residual data losses (after local healing) are
+        covered by the g globals.
+        """
+        self._check_chunk_size(chunk_size)
+        erased_set = set(erased)
+        chunks: dict[int, np.ndarray] = dict(available)
+        out: dict[int, np.ndarray] = {}
+
+        # Pass 1: groups with <= local_r losses heal locally.
+        deferred_groups: list[int] = []
+        for group in range(self.l):
+            members = self.group_nodes(group)
+            lost = [m for m in members if m in erased_set]
+            if not lost:
+                continue
+            if len(lost) > self.local_r:
+                deferred_groups.append(group)
+                continue
+            local_avail = {self._group_role(m, group): chunks[m]
+                           for m in members if m not in erased_set}
+            local_erased = [self._group_role(m, group) for m in lost]
+            decoded = self.local.decode(local_avail, local_erased, chunk_size)
+            for m in lost:
+                value = decoded[self._group_role(m, group)]
+                chunks[m] = value
+                out[m] = value
+
+        # Pass 2: a group beyond its locals needs the globals.
+        if deferred_groups:
+            if not self.globals_code:
+                raise DecodeError("group lost more than local_r and no globals")
+            lost_data = [m for grp in deferred_groups
+                         for m in self.group_nodes(grp)
+                         if m in erased_set and m < self.k]
+            glob_avail = {i: chunks[i] for i in range(self.k)
+                          if i in chunks and i not in erased_set}
+            for j in range(self.g):
+                node = self.k + self.l * self.local_r + j
+                if node in chunks and node not in erased_set:
+                    glob_avail[self.k + j] = chunks[node]
+            decoded = self.globals_code.decode(
+                glob_avail, [m for m in lost_data], chunk_size)
+            for m in lost_data:
+                chunks[m] = decoded[m]
+                out[m] = decoded[m]
+            # Re-encode the deferred groups' local parities.
+            for grp in deferred_groups:
+                group_data = [chunks[m] for m in self.group_nodes(grp)
+                              if m < self.k]
+                local_parities = self.local.encode(group_data)
+                base = self.k + grp * self.local_r
+                for idx, parity in enumerate(local_parities):
+                    node = base + idx
+                    chunks[node] = parity
+                    if node in erased_set:
+                        out[node] = parity
+
+        # Global parities lost?
+        lost_globals = [m for m in erased_set
+                        if m >= self.k + self.l * self.local_r]
+        if lost_globals:
+            data = [chunks[i] for i in range(self.k)]
+            fresh = self.globals_code.encode(data)
+            for m in lost_globals:
+                out[m] = fresh[m - self.k - self.l * self.local_r]
+
+        missing = erased_set - set(out)
+        if missing:
+            raise DecodeError(f"pattern not handled: {sorted(missing)}")
+        return out
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair_plan(self, failed: int, chunk_size: int) -> RepairPlan:
+        """Group-local MSR repair; globals re-encode from the data."""
+        self._check_chunk_size(chunk_size)
+        if not 0 <= failed < self.n:
+            raise ValueError(f"node {failed} out of range")
+        group = self.group_of(failed)
+        if group is None:
+            segments = [ReadSegment(node, 0, chunk_size)
+                        for node in range(self.k)]
+            return RepairPlan((failed,), chunk_size, segments)
+        members = self.group_nodes(group)
+        role = self._group_role(failed, group)
+        local_plan = self.local.repair_plan(role, chunk_size)
+        segments = [ReadSegment(members[s.node], s.offset, s.length)
+                    for s in local_plan.segments]
+        return RepairPlan((failed,), chunk_size, segments)
+
+    def repair(self, failed: int, reads: Mapping[int, np.ndarray],
+               chunk_size: int) -> np.ndarray:
+        """Repair from exactly the planned bytes (local Clay or global RS)."""
+        group = self.group_of(failed)
+        if group is None:
+            data = [reads[node] for node in range(self.k)]
+            return self.globals_code.encode(data)[
+                failed - self.k - self.l * self.local_r]
+        members = self.group_nodes(group)
+        role = self._group_role(failed, group)
+        local_reads = {self._group_role(m, group): reads[m]
+                       for m in members if m in reads}
+        return self.local.repair(role, local_reads, chunk_size)

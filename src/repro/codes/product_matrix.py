@@ -1,0 +1,200 @@
+"""Product-matrix MBR codes (Rashmi, Shah, Kumar — IEEE IT 2011).
+
+The paper's §2.2 situates Clay among regenerating codes: MSR codes sit at
+the minimum-storage corner of the storage/repair-bandwidth trade-off, MBR
+(Minimum Bandwidth Regenerating) codes at the minimum-bandwidth corner.
+This module implements the classic product-matrix MBR construction for any
+``k <= d <= n-1`` — primarily to let the benchmarks quantify the trade-off
+the paper's choice of an MSR code implies.
+
+Construction
+------------
+``B = k*d - k*(k-1)/2`` message symbols fill a symmetric ``d x d`` matrix
+
+    M = [[S, T],
+         [T^t, 0]]
+
+(S: k x k symmetric, T: k x (d-k)).  With an ``n x d`` Vandermonde encoding
+matrix Ψ (rows ψ_i), node i stores the ``alpha = d`` symbols ``ψ_i^t M``.
+
+* **Repair** of node f: every helper j sends the *single* symbol
+  ``ψ_j^t M ψ_f``; any d such symbols give ``M ψ_f`` by inverting the
+  corresponding Ψ submatrix, and — M being symmetric — that *is* the lost
+  chunk.  Total repair traffic = α symbols: exactly the data lost
+  (repair-by-transfer, β = 1).
+* **Reconstruction** from any k nodes: their rows give ``[Φ S + Δ T^t,
+  Φ T]``; invert Φ to peel T, then S.
+
+Unlike the systematic codes in this package, MBR stores ``n*d / B > n/k``
+raw bytes per data byte — the price of minimum repair bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codes.base import DecodeError
+from repro.gf.field import gf_xor_mul_into
+from repro.gf.matrix import mat_inv, vandermonde
+
+
+class ProductMatrixMBR:
+    """Minimum Bandwidth Regenerating code over GF(256)."""
+
+    def __init__(self, n: int, k: int, d: int | None = None):
+        if d is None:
+            d = n - 1
+        if not 1 <= k <= d <= n - 1:
+            raise ValueError(f"need 1 <= k <= d <= n-1, got k={k}, d={d}, n={n}")
+        if n > 255:
+            raise ValueError("n must fit distinct non-zero field points")
+        self.n = n
+        self.k = k
+        self.d = d
+        self.alpha = d
+        self.beta = 1
+        #: number of message symbols per stripe
+        self.B = k * d - k * (k - 1) // 2
+        # Vandermonde rows: any d rows independent; any k rows of the first
+        # k columns independent.
+        self.psi = vandermonde(d, list(range(1, n + 1))).T.copy()  # n x d
+        self._message_map = self._build_message_map()
+
+    # ------------------------------------------------------------------
+    # Message layout
+    # ------------------------------------------------------------------
+    def _build_message_map(self) -> np.ndarray:
+        """(d x d) matrix of message-symbol indices; -1 marks the zero block."""
+        k, d = self.k, self.d
+        idx = np.full((d, d), -1, dtype=np.int64)
+        s = 0
+        for i in range(k):          # symmetric S block
+            for j in range(i, k):
+                idx[i, j] = idx[j, i] = s
+                s += 1
+        for i in range(k):          # T and T^t blocks
+            for j in range(k, d):
+                idx[i, j] = idx[j, i] = s
+                s += 1
+        assert s == self.B
+        return idx
+
+    @property
+    def storage_overhead(self) -> float:
+        """Raw bytes stored per data byte (> n/k: the MBR price)."""
+        return self.n * self.d / self.B
+
+    @property
+    def repair_traffic_symbols(self) -> int:
+        """Symbols read over the network to repair one node (= alpha)."""
+        return self.d * self.beta
+
+    @property
+    def name(self) -> str:
+        return f"PM-MBR({self.n},{self.k},{self.d})"
+
+    # ------------------------------------------------------------------
+    # Core stream algebra
+    # ------------------------------------------------------------------
+    def _check_data(self, data: np.ndarray) -> int:
+        if data.dtype != np.uint8 or data.ndim != 1 or data.size % self.B:
+            raise ValueError(
+                f"data must be uint8 with length a multiple of B={self.B}")
+        return data.size // self.B
+
+    def encode(self, data: np.ndarray) -> list[np.ndarray]:
+        """All n stored chunks (each ``alpha * L`` bytes) of one stripe."""
+        length = self._check_data(data)
+        streams = data.reshape(self.B, length)
+        out = []
+        for node in range(self.n):
+            chunk = np.zeros((self.d, length), dtype=np.uint8)
+            for col in range(self.d):
+                for row in range(self.d):
+                    sym = self._message_map[row, col]
+                    if sym >= 0:
+                        gf_xor_mul_into(chunk[col], int(self.psi[node, row]),
+                                        streams[sym])
+            out.append(chunk.reshape(-1))
+        return out
+
+    def decode(self, chunks: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Recover the message from any k stored chunks."""
+        nodes = sorted(chunks)[: self.k]
+        if len(nodes) < self.k:
+            raise DecodeError(f"need {self.k} chunks, got {len(nodes)}")
+        length = chunks[nodes[0]].size // self.d
+        rows = np.zeros((self.k, self.d, length), dtype=np.uint8)
+        for r, node in enumerate(nodes):
+            chunk = chunks[node]
+            if chunk.size != self.d * length:
+                raise DecodeError("inconsistent chunk sizes")
+            rows[r] = chunk.reshape(self.d, length)
+        phi = self.psi[nodes, : self.k]          # k x k
+        delta = self.psi[nodes, self.k:]         # k x (d-k)
+        phi_inv = mat_inv(phi)
+        # T = phi^-1 @ second block.
+        t_block = self._coeff_stream_mul(phi_inv, rows[:, self.k:, :])
+        # S = phi^-1 @ (first block - delta @ T^t).
+        first = rows[:, : self.k, :].copy()
+        if self.d > self.k:
+            t_transpose = t_block.transpose(1, 0, 2)
+            correction = self._coeff_stream_mul(delta, t_transpose)
+            np.bitwise_xor(first, correction, out=first)
+        s_block = self._coeff_stream_mul(phi_inv, first)
+        out = np.zeros((self.B, length), dtype=np.uint8)
+        for i in range(self.k):
+            for j in range(i, self.k):
+                out[self._message_map[i, j]] = s_block[i, j - 0]
+        for i in range(self.k):
+            for j in range(self.k, self.d):
+                out[self._message_map[i, j]] = t_block[i, j - self.k]
+        return out.reshape(-1)
+
+    @staticmethod
+    def _coeff_stream_mul(coeffs: np.ndarray, streams: np.ndarray) -> np.ndarray:
+        """(a x b) GF matrix times (b x c x L) stream tensor -> (a x c x L)."""
+        a, b = coeffs.shape
+        _b, c, length = streams.shape
+        out = np.zeros((a, c, length), dtype=np.uint8)
+        for i in range(a):
+            for m in range(b):
+                coeff = int(coeffs[i, m])
+                if coeff:
+                    for j in range(c):
+                        gf_xor_mul_into(out[i, j], coeff, streams[m, j])
+        return out
+
+    # ------------------------------------------------------------------
+    # Repair (beta = 1)
+    # ------------------------------------------------------------------
+    def helper_symbol(self, helper: int, failed: int,
+                      helper_chunk: np.ndarray) -> np.ndarray:
+        """The single symbol-stream helper sends: ``ψ_h^t M ψ_f``."""
+        length = helper_chunk.size // self.d
+        stored = helper_chunk.reshape(self.d, length)
+        out = np.zeros(length, dtype=np.uint8)
+        for c in range(self.d):
+            gf_xor_mul_into(out, int(self.psi[failed, c]), stored[c])
+        return out
+
+    def repair(self, failed: int,
+               helper_symbols: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Rebuild the failed chunk from d helper symbols."""
+        helpers = sorted(helper_symbols)[: self.d]
+        if len(helpers) < self.d:
+            raise DecodeError(f"need {self.d} helper symbols, got {len(helpers)}")
+        if failed in helpers:
+            raise DecodeError("failed node cannot help itself")
+        length = helper_symbols[helpers[0]].size
+        psi_sub = self.psi[helpers]              # d x d
+        inv = mat_inv(psi_sub)
+        received = np.stack([helper_symbols[h] for h in helpers])
+        # M ψ_f = Ψ_H^-1 @ received; symmetry makes it the lost chunk.
+        chunk = np.zeros((self.d, length), dtype=np.uint8)
+        for i in range(self.d):
+            for m in range(self.d):
+                gf_xor_mul_into(chunk[i], int(inv[i, m]), received[m])
+        return chunk.reshape(-1)

@@ -1,0 +1,46 @@
+"""Systematic Reed-Solomon code RS(k, r).
+
+The baseline of the paper (Figure 1b, Table 1): MDS, sub-packetization 1,
+and the costliest repair — any single failure reads ``k`` *full* chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codes.base import ReadSegment, RepairPlan, ScalarLinearCode
+from repro.gf.matrix import systematic_generator
+
+
+class RSCode(ScalarLinearCode):
+    """Cauchy-based systematic Reed-Solomon code."""
+
+    def __init__(self, k: int, r: int):
+        if k <= 0 or r <= 0:
+            raise ValueError("k and r must be positive")
+        super().__init__(systematic_generator(k, r), k, r)
+
+    @property
+    def is_mds(self) -> bool:
+        return True
+
+    @property
+    def name(self) -> str:
+        return f"RS({self.k},{self.r})"
+
+    def repair_plan(self, failed: int, chunk_size: int) -> RepairPlan:
+        """Read k full chunks from the first k surviving nodes."""
+        self._check_chunk_size(chunk_size)
+        if not 0 <= failed < self.n:
+            raise ValueError(f"node {failed} out of range")
+        helpers = [i for i in range(self.n) if i != failed][: self.k]
+        segments = [ReadSegment(node, 0, chunk_size) for node in helpers]
+        return RepairPlan((failed,), chunk_size, segments)
+
+    def repair(self, failed: int, reads: Mapping[int, np.ndarray],
+               chunk_size: int) -> np.ndarray:
+        plan = self.repair_plan(failed, chunk_size)
+        available = {node: reads[node] for node in plan.helper_nodes}
+        return self.decode(available, [failed], chunk_size)[failed]

@@ -1,0 +1,94 @@
+"""Buckets: the on-disk unit of encoding (Figure 6).
+
+Each bucket is a large append-only file on one disk holding equal-sized
+chunks from different objects; buckets of the same level from ``k + r``
+disks of a placement group are encoded together with the regenerating code.
+Small-size-buckets hold the variable-sized front cuts (and whole objects
+smaller than ``s0``) and are RS-coded, which eliminates read amplification
+for them (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BucketSlot:
+    """Position of one object chunk inside a bucket."""
+
+    object_id: int
+    chunk_index: int
+    offset: int
+    length: int
+
+
+@dataclass
+class Bucket:
+    """A fixed-chunk-size bucket (regenerating-code encoded)."""
+
+    level: int
+    chunk_size: int
+    slots: list[BucketSlot] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.chunk_size <= 0 or self.level <= 0:
+            raise ValueError("bucket needs positive level and chunk size")
+
+    @property
+    def size_bytes(self) -> int:
+        """Current size of this bucket/file in bytes."""
+        return len(self.slots) * self.chunk_size
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks currently held."""
+        return len(self.slots)
+
+    def append(self, object_id: int, chunk_index: int) -> BucketSlot:
+        """Allocate the next aligned slot for a chunk of an object."""
+        slot = BucketSlot(object_id, chunk_index,
+                          offset=self.size_bytes, length=self.chunk_size)
+        self.slots.append(slot)
+        return slot
+
+    def locate(self, object_id: int, chunk_index: int) -> BucketSlot:
+        """Find the slot of a stored item; raises KeyError if absent."""
+        for slot in self.slots:
+            if slot.object_id == object_id and slot.chunk_index == chunk_index:
+                return slot
+        raise KeyError(f"chunk {chunk_index} of object {object_id} not in bucket")
+
+
+@dataclass
+class SmallSizeBucket:
+    """A variable-item-size bucket for object fronts (RS-coded)."""
+
+    slots: list[BucketSlot] = field(default_factory=list)
+    _size: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Current size of this bucket/file in bytes."""
+        return self._size
+
+    @property
+    def n_items(self) -> int:
+        """Number of items currently held."""
+        return len(self.slots)
+
+    def append(self, object_id: int, length: int) -> BucketSlot:
+        """Append an item; returns its allocated slot."""
+        if length <= 0:
+            raise ValueError("small-size-bucket items must be non-empty")
+        slot = BucketSlot(object_id, chunk_index=0, offset=self._size, length=length)
+        self.slots.append(slot)
+        self._size += length
+        return slot
+
+    def locate(self, object_id: int) -> BucketSlot:
+        """Find the slot of a stored item; raises KeyError if absent."""
+        for slot in self.slots:
+            if slot.object_id == object_id:
+                return slot
+        raise KeyError(f"object {object_id} not in small-size-bucket")

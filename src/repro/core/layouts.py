@@ -1,0 +1,249 @@
+"""Data layouts compared by the paper (§3.2, §4, Table 5).
+
+A :class:`Layout` maps an object to :class:`ObjectPlacement` — the ordered
+list of :class:`PlacedChunk` the degraded-read pipeline walks, plus where
+each chunk lives relative to the object's disks:
+
+* **Geometric** (the paper's contribution): front cut to an RS-coded
+  small-size-bucket, then chunks of geometrically growing size, all on one
+  disk.
+* **Contiguous** (Facebook f4 style): objects packed unaligned into a fixed
+  chunk grid; degraded reads repair every *touched* chunk (read
+  amplification).
+* **Stripe** (HDFS-3/QFS style): object split into fixed strips round-robin
+  over ``k`` disks; a failure leaves 1/k of strips to repair, with repair
+  granularity equal to the strip size.
+* **Stripe-Max**: one strip per disk of size ``object/k`` — the largest
+  chunk size stripe admits without read amplification.
+
+``stored_bytes`` is each chunk's repair granularity: the bytes that must be
+regenerated to produce the chunk, which exceeds ``data_bytes`` exactly when
+the layout suffers read amplification.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.partitioning import GeometricPartitioner
+
+RS_KIND = "rs"
+REGENERATING_KIND = "regenerating"
+
+
+@dataclass(frozen=True)
+class PlacedChunk:
+    """One unit of degraded-read pipelining."""
+
+    data_bytes: int
+    stored_bytes: int
+    code_kind: str = REGENERATING_KIND
+    level: int | None = None
+    disk_index: int = 0
+    needs_repair: bool = True
+
+    def __post_init__(self):
+        if self.data_bytes <= 0 or self.stored_bytes < self.data_bytes:
+            raise ValueError(
+                f"need 0 < data_bytes <= stored_bytes, got {self.data_bytes}/{self.stored_bytes}")
+        if self.code_kind not in (RS_KIND, REGENERATING_KIND):
+            raise ValueError(f"unknown code kind {self.code_kind}")
+
+
+@dataclass
+class ObjectPlacement:
+    """How one object is cut up and spread over its disk(s)."""
+
+    layout_name: str
+    object_size: int
+    chunks: list[PlacedChunk]
+    spans_disks: bool = False
+
+    def __post_init__(self):
+        total = sum(c.data_bytes for c in self.chunks)
+        if total != self.object_size:
+            raise ValueError(
+                f"chunks carry {total} bytes, object is {self.object_size}")
+
+    @property
+    def repaired_bytes(self) -> int:
+        """Bytes regenerated during a full degraded read."""
+        return sum(c.stored_bytes for c in self.chunks if c.needs_repair)
+
+    @property
+    def read_amplification(self) -> float:
+        """Repaired bytes per unavailable object byte (1.0 = none)."""
+        unavailable = sum(c.data_bytes for c in self.chunks if c.needs_repair)
+        if unavailable == 0:
+            return 1.0
+        return self.repaired_bytes / unavailable
+
+    def chunks_on_disk(self, disk_index: int) -> list[PlacedChunk]:
+        """Chunks placed on the given relative disk index."""
+        return [c for c in self.chunks if c.disk_index == disk_index]
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks currently held."""
+        return len(self.chunks)
+
+    @property
+    def average_stored_chunk(self) -> float:
+        """Mean stored size of the regenerating-code chunks."""
+        regen = [c.stored_bytes for c in self.chunks if c.code_kind == REGENERATING_KIND]
+        return sum(regen) / len(regen) if regen else 0.0
+
+
+class Layout(ABC):
+    """Maps object sizes to placements."""
+
+    name: str = "abstract"
+    spans_disks: bool = False
+
+    @abstractmethod
+    def place(self, object_size: int) -> ObjectPlacement:
+        """Placement of a single object (deterministic)."""
+
+
+class GeometricLayout(Layout):
+    """Geometric Partitioning: front cut + geometric chunks on one disk.
+
+    ``front_cut=False`` is the §4.1 ablation: the front is *padded* into a
+    regenerating-code chunk of size s0 instead of going to an RS-coded
+    small-size-bucket, reintroducing read amplification on the front.
+    """
+
+    spans_disks = False
+
+    def __init__(self, s0: int, q: int = 2, max_chunk_size: int | None = None,
+                 front_cut: bool = True):
+        self.partitioner = GeometricPartitioner(s0, q, max_chunk_size)
+        self.front_cut = front_cut
+        self.name = f"Geo-{_fmt_size(s0)}" if q == 2 else f"Geo-{_fmt_size(s0)}-q{q}"
+        if not front_cut:
+            self.name += "-nocut"
+
+    @property
+    def s0(self) -> int:
+        """The smallest (initial) chunk size."""
+        return self.partitioner.s0
+
+    @property
+    def q(self) -> int:
+        """The geometric common ratio."""
+        return self.partitioner.q
+
+    def place(self, object_size: int) -> ObjectPlacement:
+        part = self.partitioner.partition(object_size)
+        chunks: list[PlacedChunk] = []
+        if part.front:
+            if self.front_cut:
+                chunks.append(PlacedChunk(part.front, part.front, RS_KIND))
+            else:
+                # Ablation: pad the front into a full s0 chunk.
+                chunks.append(PlacedChunk(part.front, self.partitioner.s0,
+                                          REGENERATING_KIND, level=1))
+        for spec in part.chunks():
+            chunks.append(PlacedChunk(spec.size, spec.size, REGENERATING_KIND,
+                                      level=spec.level))
+        return ObjectPlacement(self.name, object_size, chunks)
+
+
+class ContiguousLayout(Layout):
+    """Unaligned packing into a fixed chunk grid (read amplification)."""
+
+    spans_disks = False
+
+    def __init__(self, chunk_size: int):
+        if chunk_size <= 0:
+            raise ValueError("chunk size must be positive")
+        self.chunk_size = chunk_size
+        self.name = f"Con-{_fmt_size(chunk_size)}"
+
+    def place(self, object_size: int, start_offset: int = 0) -> ObjectPlacement:
+        """``start_offset`` is the object's packing offset within the grid;
+        objects are packed back-to-back, so offsets are arbitrary."""
+        if object_size <= 0:
+            raise ValueError("object size must be positive")
+        chunks: list[PlacedChunk] = []
+        pos = start_offset % self.chunk_size
+        remaining = object_size
+        while remaining > 0:
+            in_chunk = min(self.chunk_size - pos, remaining)
+            chunks.append(PlacedChunk(in_chunk, self.chunk_size, REGENERATING_KIND))
+            remaining -= in_chunk
+            pos = 0
+        return ObjectPlacement(self.name, object_size, chunks)
+
+
+class StripeLayout(Layout):
+    """Fixed-strip striping across the k data disks."""
+
+    spans_disks = True
+
+    def __init__(self, strip_size: int, k: int = 10):
+        if strip_size <= 0 or k <= 0:
+            raise ValueError("invalid stripe parameters")
+        self.strip_size = strip_size
+        self.k = k
+        self.name = f"Stripe-{_fmt_size(strip_size)}"
+
+    def place(self, object_size: int, failed_disk: int = 0,
+              start_role: int = 0) -> ObjectPlacement:
+        """``failed_disk`` selects which of the k round-robin positions is
+        unavailable (only those strips need repair in a degraded read).
+        ``start_role`` rotates the first strip's disk, as block-group
+        placement does in real striped stores — without it, sub-strip-count
+        objects would pile onto the first few disks."""
+        if object_size <= 0:
+            raise ValueError("object size must be positive")
+        chunks: list[PlacedChunk] = []
+        remaining = object_size
+        i = start_role
+        while remaining > 0:
+            size = min(self.strip_size, remaining)
+            disk = i % self.k
+            chunks.append(PlacedChunk(size, size, REGENERATING_KIND,
+                                      disk_index=disk,
+                                      needs_repair=(disk == failed_disk % self.k)))
+            remaining -= size
+            i += 1
+        return ObjectPlacement(self.name, object_size, chunks, spans_disks=True)
+
+
+class StripeMaxLayout(Layout):
+    """One strip per data disk: strip size = object size / k."""
+
+    spans_disks = True
+    name = "Stripe-Max"
+
+    def __init__(self, k: int = 10):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+
+    def place(self, object_size: int, failed_disk: int = 0) -> ObjectPlacement:
+        if object_size <= 0:
+            raise ValueError("object size must be positive")
+        base = object_size // self.k
+        extra = object_size % self.k
+        chunks: list[PlacedChunk] = []
+        for disk in range(self.k):
+            size = base + (1 if disk < extra else 0)
+            if size == 0:
+                continue
+            chunks.append(PlacedChunk(size, size, REGENERATING_KIND,
+                                      disk_index=disk,
+                                      needs_repair=(disk == failed_disk % self.k)))
+        return ObjectPlacement(self.name, object_size, chunks, spans_disks=True)
+
+
+def _fmt_size(n: int) -> str:
+    """4194304 -> '4M', 131072 -> '128K' (paper's scheme labels)."""
+    for unit, label in ((1 << 30, "G"), (1 << 20, "M"), (1 << 10, "K")):
+        if n >= unit and n % unit == 0:
+            return f"{n // unit}{label}"
+        if n >= unit:
+            return f"{n / unit:.1f}{label}"
+    return str(n)

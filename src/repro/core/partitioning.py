@@ -1,0 +1,183 @@
+"""Geometric Partitioning — Algorithm 1 of the paper.
+
+An object of size ``S`` is represented as
+
+    S = R + sum_i a_i * s0 * q**(i-1)
+
+where ``R = S mod s0`` is the *front cut* (stored in an RS-coded
+small-size-bucket) and ``a_i`` counts the chunks of level ``i`` (stored in
+regenerating-code buckets of chunk size ``s0 * q**(i-1)``).  The two-pass
+scan guarantees every coefficient up to the top level is non-zero, bounding
+the ratio of adjacent chunk sizes so repair of chunk ``i+1`` can overlap the
+transfer of chunk ``i`` (Figure 8).
+
+Chunks are laid out in ascending size order after the front, which is also
+the degraded-read transfer order: the pipeline starts on the smallest chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One chunk of a partitioned object.
+
+    ``level`` is 1-based; the chunk lives in the bucket whose chunk size is
+    ``size``.  ``offset`` is the byte offset within the (front-cut) object.
+    """
+
+    level: int
+    size: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Result of partitioning one object."""
+
+    object_size: int
+    s0: int
+    q: int
+    front: int
+    counts: tuple[int, ...]
+
+    def __post_init__(self):
+        total = self.front + sum(
+            a * self.s0 * self.q ** i for i, a in enumerate(self.counts))
+        if total != self.object_size:
+            raise ValueError(
+                f"partition does not cover object: {total} != {self.object_size}")
+
+    @property
+    def n_levels(self) -> int:
+        """Number of geometric levels used by this partition."""
+        return len(self.counts)
+
+    def level_size(self, level: int) -> int:
+        """Chunk size of a 1-based level."""
+        return self.s0 * self.q ** (level - 1)
+
+    def chunks(self) -> list[ChunkSpec]:
+        """All chunks in object byte order (ascending level)."""
+        out: list[ChunkSpec] = []
+        offset = self.front
+        for level0, count in enumerate(self.counts):
+            size = self.s0 * self.q ** level0
+            for _ in range(count):
+                out.append(ChunkSpec(level0 + 1, size, offset))
+                offset += size
+        return out
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks currently held."""
+        return sum(self.counts)
+
+    @property
+    def partitioned_bytes(self) -> int:
+        """Bytes in regenerating-code buckets (everything but the front)."""
+        return self.object_size - self.front
+
+    @property
+    def average_chunk_size(self) -> float:
+        """Mean chunk size weighted by nothing — the §6.3 metric divides
+        partitioned bytes by chunk count."""
+        if self.n_chunks == 0:
+            return 0.0
+        return self.partitioned_bytes / self.n_chunks
+
+    @property
+    def max_adjacent_ratio(self) -> float:
+        """Largest size ratio between consecutive chunks (pipelining bound)."""
+        sizes = [c.size for c in self.chunks()]
+        if len(sizes) < 2:
+            return 1.0
+        return max(b / a for a, b in zip(sizes, sizes[1:]))
+
+
+class GeometricPartitioner:
+    """Algorithm 1: two-pass scan with optional top chunk-size cap.
+
+    ``max_chunk_size`` reproduces RCStor's memory-pool rule of never
+    allocating chunks above 256 MB (§5.2); levels stop growing there and the
+    top level absorbs the remainder with a larger count.
+    """
+
+    def __init__(self, s0: int, q: int = 2, max_chunk_size: int | None = None):
+        if s0 <= 0:
+            raise ValueError("s0 must be positive")
+        if q < 1:
+            raise ValueError("q must be at least 1")
+        if max_chunk_size is not None and max_chunk_size < s0:
+            raise ValueError("max_chunk_size must be >= s0")
+        self.s0 = s0
+        self.q = q
+        self.max_chunk_size = max_chunk_size
+
+    def level_size(self, level: int) -> int:
+        """Chunk size of a 1-based level."""
+        return self.s0 * self.q ** (level - 1)
+
+    @property
+    def max_level(self) -> int | None:
+        """Largest level allowed by max_chunk_size (None = unbounded)."""
+        if self.max_chunk_size is None:
+            return None
+        if self.q == 1:
+            # A constant sequence: every level is s0; cap at one level.
+            return 1
+        level = 1
+        while self.level_size(level + 1) <= self.max_chunk_size:
+            level += 1
+        return level
+
+    def partition(self, size: int) -> Partition:
+        """Apply Algorithm 1 to an object size."""
+        if size < 0:
+            raise ValueError("object size must be non-negative")
+        remaining = size
+        counts: list[int] = []
+        cap = self.max_level
+        # Pass 1: walk up the sequence, taking one chunk per level.
+        level = 1
+        while remaining >= self.level_size(level) and (cap is None or level <= cap):
+            counts.append(1)
+            remaining -= self.level_size(level)
+            level += 1
+        # Pass 2: greedily re-fill from the largest level downward.
+        for level in range(len(counts), 0, -1):
+            chunk = self.level_size(level)
+            while remaining >= chunk:
+                remaining -= chunk
+                counts[level - 1] += 1
+        return Partition(size, self.s0, self.q, remaining, tuple(counts))
+
+
+def greedy_partition(size: int, s0: int, q: int = 2,
+                     max_chunk_size: int | None = None) -> Partition:
+    """The naive single-pass alternative to Algorithm 1 (§4.3's foil).
+
+    Repeatedly takes the largest chunk that fits.  A 20 MB object becomes
+    16 MB + 4 MB — a size gap of q² between adjacent chunks, so the repair
+    of the big chunk cannot hide behind the transfer of the small one.
+    Exists for the ablation benchmarks; production code uses
+    :class:`GeometricPartitioner`.
+    """
+    if size < 0:
+        raise ValueError("object size must be non-negative")
+    helper = GeometricPartitioner(s0, q, max_chunk_size)
+    cap = 1 if q == 1 else helper.max_level
+    counts: list[int] = []
+    remaining = size
+    while remaining >= s0:
+        level = 1
+        while ((cap is None or level < cap)
+               and helper.level_size(level + 1) <= remaining):
+            level += 1
+        while len(counts) < level:
+            counts.append(0)
+        counts[level - 1] += 1
+        remaining -= helper.level_size(level)
+    return Partition(size, s0, q, remaining, tuple(counts))

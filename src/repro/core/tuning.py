@@ -1,0 +1,91 @@
+"""Parameter tuning for Geometric Partitioning (§4.4).
+
+The paper tunes ``s0`` and ``q`` by sampling the target workload and grid
+searching: larger ``s0`` raises average chunk size (recovery throughput) but
+grows the RS-coded small-size-bucket share and the unpipelined first chunk;
+larger ``q`` reduces chunk count but strains pipelining.  This module
+computes the workload-structural metrics exactly and accepts an optional
+evaluator (e.g. the analytic degraded-read model or the full simulator) for
+time-based metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.layouts import GeometricLayout
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """Metrics of one (s0, q) candidate over a workload sample."""
+
+    s0: int
+    q: int
+    average_chunk_size: float
+    small_bucket_share: float
+    average_chunk_count: float
+    mean_degraded_read_time: float | None = None
+
+
+def evaluate_candidate(sizes: Sequence[int], s0: int, q: int,
+                       max_chunk_size: int | None = None,
+                       evaluator: Callable[[GeometricLayout, int], float] | None = None,
+                       ) -> TuningPoint:
+    """Structural (and optionally timed) metrics for one candidate."""
+    layout = GeometricLayout(s0, q, max_chunk_size)
+    total_bytes = 0
+    front_bytes = 0
+    total_chunks = 0
+    partitioned_bytes = 0
+    times: list[float] = []
+    for size in sizes:
+        part = layout.partitioner.partition(size)
+        total_bytes += size
+        front_bytes += part.front
+        total_chunks += part.n_chunks
+        partitioned_bytes += part.partitioned_bytes
+        if evaluator is not None:
+            times.append(evaluator(layout, size))
+    if total_bytes == 0:
+        raise ValueError("workload sample is empty")
+    return TuningPoint(
+        s0=s0,
+        q=q,
+        average_chunk_size=(partitioned_bytes / total_chunks) if total_chunks else 0.0,
+        small_bucket_share=front_bytes / total_bytes,
+        average_chunk_count=total_chunks / len(sizes),
+        mean_degraded_read_time=(sum(times) / len(times)) if times else None,
+    )
+
+
+def grid_search(sizes: Sequence[int], s0_candidates: Iterable[int],
+                q_candidates: Iterable[int],
+                max_chunk_size: int | None = None,
+                evaluator: Callable[[GeometricLayout, int], float] | None = None,
+                ) -> list[TuningPoint]:
+    """Evaluate the full (s0, q) grid; rows in grid order."""
+    return [evaluate_candidate(sizes, s0, q, max_chunk_size, evaluator)
+            for s0 in s0_candidates for q in q_candidates]
+
+
+def pareto_front(points: Sequence[TuningPoint]) -> list[TuningPoint]:
+    """Candidates not dominated on (higher chunk size, lower degraded read).
+
+    Requires timed points; with no evaluator the trade-off axis degenerates
+    to small-bucket share instead of read time.
+    """
+    def key(p: TuningPoint) -> tuple[float, float]:
+        cost = (p.mean_degraded_read_time if p.mean_degraded_read_time is not None
+                else p.small_bucket_share)
+        return (-p.average_chunk_size, cost)
+
+    front: list[TuningPoint] = []
+    for p in sorted(points, key=key):
+        chunk, cost = -key(p)[0], key(p)[1]
+        if all(not (f.average_chunk_size >= chunk and key(f)[1] <= cost
+                    and (f.average_chunk_size > chunk or key(f)[1] < cost))
+               for f in front):
+            front.append(p)
+    return front

@@ -1,0 +1,27 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+One module per experiment (see DESIGN.md §4 for the index); each exposes a
+``run(...)`` returning a result object with the numbers, plus ``to_text()``
+for a paper-style rendering.  The per-experiment benches under
+``benchmarks/`` call these and print the rows.
+"""
+
+from repro.experiments.common import (
+    W1_SETTING,
+    W2_SETTING,
+    WorkloadSetting,
+    build_system,
+    cluster_config,
+    format_table,
+    sample_requests,
+)
+
+__all__ = [
+    "W1_SETTING",
+    "W2_SETTING",
+    "WorkloadSetting",
+    "build_system",
+    "cluster_config",
+    "format_table",
+    "sample_requests",
+]

@@ -1,0 +1,202 @@
+"""Command-line runner: regenerate any of the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig4
+    python -m repro.experiments fig9  --n-objects 4000
+    python -m repro.experiments fig10 --n-objects 30000
+    python -m repro.experiments ablations
+    python -m repro.experiments all          # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _w(args):
+    from repro.experiments.common import W1_SETTING, W2_SETTING
+
+    return W2_SETTING if args.workload == "W2" else W1_SETTING
+
+
+def run_table1(args):
+    from repro.experiments import table1
+
+    return table1.to_text(table1.run())
+
+
+def run_table2(args):
+    from repro.experiments import table2
+
+    return table2.to_text(table2.run(n_objects=args.n_objects or 30_000))
+
+
+def run_fig2(args):
+    from repro.experiments import fig2
+
+    return fig2.to_text(fig2.run())
+
+
+def run_fig4(args):
+    from repro.experiments import calibration, fig4
+
+    return (fig4.to_text(fig4.run()) + "\n\n"
+            + calibration.to_text(calibration.anchors()))
+
+
+def run_fig7(args):
+    from repro.experiments import fig7
+
+    return fig7.to_text(fig7.run(n_objects=args.n_objects or 60_000))
+
+
+def run_fig9(args):
+    from repro.experiments import tradeoff
+    from repro.experiments.common import W1_SETTING
+
+    return tradeoff.to_text(tradeoff.run(
+        W1_SETTING, n_objects=args.n_objects, n_requests=args.n_requests))
+
+
+def run_fig10(args):
+    from repro.experiments import tradeoff
+    from repro.experiments.common import W2_SETTING
+
+    return tradeoff.to_text(tradeoff.run(
+        W2_SETTING, n_objects=args.n_objects, n_requests=args.n_requests))
+
+
+def run_table3(args):
+    from repro.experiments import table3
+
+    return table3.to_text(table3.run(_w(args), n_objects=args.n_objects))
+
+
+def run_fig11(args):
+    from repro.experiments import fig11_fig12
+    from repro.experiments.common import W1_SETTING
+
+    return fig11_fig12.to_text(fig11_fig12.run(
+        W1_SETTING, n_objects=args.n_objects or 1500))
+
+
+def run_fig12(args):
+    from repro.experiments import fig11_fig12
+    from repro.experiments.common import W2_SETTING
+
+    return fig11_fig12.to_text(fig11_fig12.run(
+        W2_SETTING, n_objects=args.n_objects or 8000))
+
+
+def run_fig13(args):
+    from repro.experiments import fig13
+
+    return fig13.to_text(fig13.run(n_objects=args.n_objects or 1500))
+
+
+def run_fig14(args):
+    from repro.experiments import fig14
+
+    setting = _w(args)
+    return fig14.to_text(fig14.run(
+        setting, n_objects=args.n_objects or 5000), setting)
+
+
+def run_breakdown(args):
+    from repro.experiments import breakdown
+
+    setting = _w(args)
+    return breakdown.to_text(breakdown.run(
+        setting, n_objects=args.n_objects or 12_000), setting)
+
+
+def run_range(args):
+    from repro.experiments import range_access
+
+    return range_access.to_text(range_access.run(
+        n_objects=args.n_objects or 1200))
+
+
+def run_table4(args):
+    from repro.experiments import table4
+
+    return table4.to_text(table4.run(n_objects=args.n_objects or 500))
+
+
+def run_table5(args):
+    from repro.experiments import table5
+
+    return table5.to_text(table5.run(n_objects=args.n_objects or 1200))
+
+
+def run_headline(args):
+    from repro.experiments import headline
+
+    return headline.to_text(headline.run(
+        n_objects_w1=args.n_objects or 3000,
+        n_objects_w2=(args.n_objects or 3000) * 10))
+
+
+def run_durability(args):
+    from repro.experiments import durability
+
+    return durability.to_text(durability.run(
+        n_objects=args.n_objects or 2000))
+
+
+def run_ablations(args):
+    from repro.experiments import ablations
+    from repro.experiments.common import format_table
+
+    text = ablations.to_text(_w(args))
+    prio = ablations.io_priority_ablation(n_objects=args.n_objects or 1000)
+    text += "\n\nIO priority lanes during recovery:\n" + format_table(
+        ["Recovery priority", "Degraded (ms)"],
+        [["background (RCStor)", round(prio.degraded_ms_with_priority)],
+         ["foreground (ablated)", round(prio.degraded_ms_without_priority)]])
+    return text
+
+
+EXPERIMENTS = {
+    "table1": run_table1, "table2": run_table2, "table3": run_table3,
+    "table4": run_table4, "table5": run_table5,
+    "fig2": run_fig2, "fig4": run_fig4, "fig7": run_fig7,
+    "fig9": run_fig9, "fig10": run_fig10, "fig11": run_fig11,
+    "fig12": run_fig12, "fig13": run_fig13, "fig14": run_fig14,
+    "breakdown": run_breakdown, "range": run_range,
+    "headline": run_headline, "ablations": run_ablations,
+    "durability": run_durability,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the CLI runner."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--n-objects", type=int, default=None,
+                        help="workload scale (defaults are per-experiment)")
+    parser.add_argument("--n-requests", type=int, default=20,
+                        help="degraded-read sample size")
+    parser.add_argument("--workload", choices=["W1", "W2"], default="W1",
+                        help="workload for workload-parametric experiments")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        print(f"===== {name} =====")
+        print(EXPERIMENTS[name](args))
+        print(f"[{time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

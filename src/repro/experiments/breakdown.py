@@ -1,0 +1,64 @@
+"""§6.3 performance breakdown: small-size-bucket shares and chunk sizes.
+
+Paper values:
+
+* small-size-buckets occupy 1.7% / 3.7% / 9.4% of W1 capacity at
+  s0 = 1/4/16 MB, and 26.7% / 35.4% of W2 capacity at s0 = 128/256 KB;
+* average chunk sizes on W1: 14.8 MB (Geo-1M), 25.0 MB (Geo-4M),
+  56.4 MB (Geo-16M), versus only 10.3 MB for Stripe-Max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partitioning import GeometricPartitioner
+from repro.experiments.common import (
+    W1_SETTING,
+    WorkloadSetting,
+    format_table,
+    sample_workload,
+)
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    scheme: str
+    small_bucket_share: float
+    average_chunk_size: float
+
+
+def run(setting: WorkloadSetting = W1_SETTING, n_objects: int = 20_000,
+        seed: int = 0) -> list[BreakdownRow]:
+    """Run the experiment; returns its result rows."""
+    sizes = sample_workload(setting, n_objects, seed)
+    rows: list[BreakdownRow] = []
+    total = float(sizes.sum())
+    for s0 in setting.geo_s0_variants:
+        partitioner = GeometricPartitioner(s0, 2, setting.max_chunk_size)
+        front = chunk_bytes = chunks = 0
+        for size in sizes:
+            part = partitioner.partition(int(size))
+            front += part.front
+            chunk_bytes += part.partitioned_bytes
+            chunks += part.n_chunks
+        label = f"Geo-{s0 // MB}M" if s0 >= MB else f"Geo-{s0 // KB}K"
+        rows.append(BreakdownRow(label, front / total,
+                                 chunk_bytes / chunks if chunks else 0.0))
+    # Stripe-Max: one strip of size/k per disk; no small-size-buckets.
+    k = 10
+    strip_chunks = sum(min(k, int(size)) for size in sizes)
+    rows.append(BreakdownRow("Stripe-Max", 0.0, total / strip_chunks))
+    return rows
+
+
+def to_text(rows: list[BreakdownRow], setting: WorkloadSetting = W1_SETTING) -> str:
+    """Render the result as a paper-style text table."""
+    unit, label = (MB, "MB") if setting.name == "W1" else (KB, "KB")
+    return format_table(
+        ["Scheme", "Small-size-bucket share", f"Avg chunk size ({label})"],
+        [[r.scheme, f"{r.small_bucket_share * 100:.1f}%",
+          round(r.average_chunk_size / unit, 1)] for r in rows])

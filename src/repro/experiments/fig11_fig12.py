@@ -1,0 +1,87 @@
+"""Figures 11 and 12 — degraded read latency percentiles by object size.
+
+For each target object size (8/32/128 MB on W1; 256 KB/1 MB on W2) a batch
+of equal-sized probe objects is ingested alongside the workload, and their
+degraded reads are measured per scheme; we report the 5th/median/95th
+percentiles as the paper's error bars do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    WorkloadSetting,
+    W1_SETTING,
+    build_system,
+    cluster_config,
+    format_table,
+    sample_workload,
+)
+
+KB = 1 << 10
+MB = 1 << 20
+
+W1_TARGET_SIZES = (8 * MB, 32 * MB, 128 * MB)
+W2_TARGET_SIZES = (256 * KB, 1 * MB)
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    scheme: str
+    object_size: int
+    p5_ms: float
+    p50_ms: float
+    p95_ms: float
+
+
+def default_schemes(setting: WorkloadSetting) -> list[str]:
+    """The scheme labels this experiment compares."""
+    geo = [f"Geo-{s}" for s in ([ "1M", "16M"] if setting.name == "W1"
+                                else ["128K", "256K"])]
+    con = [f"Con-{c // MB}M" if c >= MB else f"Con-{c // KB}K"
+           for c in setting.contiguous_variants]
+    return geo + con + ["Stripe", "Stripe-Max"]
+
+
+def run(setting: WorkloadSetting = W1_SETTING,
+        target_sizes: tuple[int, ...] | None = None,
+        schemes: list[str] | None = None,
+        n_objects: int = 1500, n_probes: int = 24, busy: bool = False,
+        seed: int = 0) -> list[LatencyRow]:
+    """Run the experiment; returns its result rows."""
+    if target_sizes is None:
+        target_sizes = (W1_TARGET_SIZES if setting.name == "W1"
+                        else W2_TARGET_SIZES)
+    schemes = schemes or default_schemes(setting)
+    background = sample_workload(setting, n_objects, seed)
+    config = cluster_config(setting, n_objects)
+    rows: list[LatencyRow] = []
+    for scheme in schemes:
+        system = build_system(scheme, setting, config)
+        system.ingest(background)
+        probes_by_size = {}
+        for size in target_sizes:
+            probes_by_size[size] = system.ingest([size] * n_probes)
+        for size, probes in probes_by_size.items():
+            results = system.measure_degraded_reads(probes, None, busy=busy,
+                                                    seed=seed + 1)
+            times = np.array([r.total_time for r in results]) * 1000
+            rows.append(LatencyRow(scheme, size,
+                                   float(np.percentile(times, 5)),
+                                   float(np.percentile(times, 50)),
+                                   float(np.percentile(times, 95))))
+    return rows
+
+
+def to_text(rows: list[LatencyRow]) -> str:
+    """Render the result as a paper-style text table."""
+    def fmt_size(x):
+        return f"{x // MB}MB" if x >= MB else f"{x // KB}KB"
+
+    return format_table(
+        ["Scheme", "Object size", "p5 (ms)", "p50 (ms)", "p95 (ms)"],
+        [[r.scheme, fmt_size(r.object_size), round(r.p5_ms, 2),
+          round(r.p50_ms, 2), round(r.p95_ms, 2)] for r in rows])

@@ -1,0 +1,62 @@
+"""Figure 14 — average chunk size under different common ratios q.
+
+Average chunk size (partitioned bytes / chunk count, §6.3) of Geo-4M on W1
+and Geo-128K on W2 for q = 1..10.  The paper finds the peak at q = 2 or 3,
+motivating the default q = 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partitioning import GeometricPartitioner
+from repro.experiments.common import (
+    W1_SETTING,
+    WorkloadSetting,
+    format_table,
+    sample_workload,
+)
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class QPoint:
+    q: int
+    average_chunk_size: float
+
+
+def average_chunk_size(sizes, s0: int, q: int, max_chunk_size: int) -> float:
+    """Mean regenerating-code chunk size (bytes)."""
+    partitioner = GeometricPartitioner(s0, q, max_chunk_size)
+    total = chunks = 0
+    for size in sizes:
+        part = partitioner.partition(int(size))
+        total += part.partitioned_bytes
+        chunks += part.n_chunks
+    return total / chunks if chunks else 0.0
+
+
+def run(setting: WorkloadSetting = W1_SETTING, s0: int | None = None,
+        qs: tuple[int, ...] = tuple(range(1, 11)),
+        n_objects: int = 4000, seed: int = 0) -> list[QPoint]:
+    """Run the experiment; returns its result rows."""
+    s0 = s0 or setting.geo_default_s0
+    sizes = sample_workload(setting, n_objects, seed)
+    return [QPoint(q, average_chunk_size(sizes, s0, q, setting.max_chunk_size))
+            for q in qs]
+
+
+def best_q(points: list[QPoint]) -> int:
+    """The q maximising average chunk size."""
+    return max(points, key=lambda p: p.average_chunk_size).q
+
+
+def to_text(points: list[QPoint], setting: WorkloadSetting = W1_SETTING) -> str:
+    """Render the result as a paper-style text table."""
+    unit, label = (MB, "MB") if setting.name == "W1" else (KB, "KB")
+    table = format_table(
+        ["q", f"Average chunk size ({label})"],
+        [[p.q, round(p.average_chunk_size / unit, 1)] for p in points])
+    return table + f"\n\nPeak at q={best_q(points)} (paper: 2 or 3)"

@@ -1,0 +1,27 @@
+"""Table 3 — disk and network bandwidth (MB/s) during recovery.
+
+Derived from the same recovery runs as Figures 9/10: average bytes moved
+per disk (reads + writes) and received per node over the recovery makespan.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import WorkloadSetting, format_table
+from repro.experiments.tradeoff import TradeoffResult, run as run_tradeoff
+
+MB = 1 << 20
+
+
+def run(setting: WorkloadSetting, n_objects: int | None = None,
+        schemes: list[str] | None = None, seed: int = 0) -> TradeoffResult:
+    """Run the experiment; returns its result rows."""
+    return run_tradeoff(setting, n_objects=n_objects, schemes=schemes,
+                        include_busy=False, n_requests=4, seed=seed)
+
+
+def to_text(result: TradeoffResult) -> str:
+    """Render the result as a paper-style text table."""
+    rows = [[r.scheme, round(r.disk_bandwidth / MB, 1),
+             round(r.network_bandwidth / MB, 1)] for r in result.results]
+    return (f"[{result.setting_name}]\n"
+            + format_table(["Scheme", "Disk (MB/s)", "Network (MB/s)"], rows))

@@ -1,0 +1,103 @@
+"""Table 5 — layout comparison summary.
+
+The paper's closing table, regenerated from measurements: chunk-size class,
+pipelining efficiency (measured on degraded reads), read amplification
+(from placements), and recovery disk throughput class (from the tradeoff
+runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    W1_SETTING,
+    WorkloadSetting,
+    build_system,
+    cluster_config,
+    format_table,
+    nearest_candidates,
+    request_size_targets,
+    sample_workload,
+)
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class LayoutSummaryRow:
+    layout: str
+    chunk_size_class: str
+    pipelining_efficiency: float
+    read_amplification: float
+    recovery_disk_bandwidth: float
+
+
+def run(setting: WorkloadSetting = W1_SETTING, n_objects: int = 1200,
+        n_requests: int = 15, seed: int = 0) -> list[LayoutSummaryRow]:
+    """Run the experiment; returns its result rows."""
+    schemes = {
+        "Geometric": f"Geo-{'4M' if setting.name == 'W1' else '128K'}",
+        "Stripe": "Stripe",
+        "Contiguous": f"Con-{'64M' if setting.name == 'W1' else '512K'}",
+    }
+    sizes = sample_workload(setting, n_objects, seed)
+    config = cluster_config(setting, n_objects)
+    targets = request_size_targets(setting, sizes, n_requests, seed + 1)
+    rows = []
+    for layout_name, scheme in schemes.items():
+        system = build_system(scheme, setting, config)
+        system.ingest(sizes)
+        requests = nearest_candidates(system.catalog.objects, targets)
+        degraded = system.measure_degraded_reads(requests, None)
+        efficiency = float(np.mean(
+            [1.0 - r.total_time / (r.repair_time + r.transfer_time)
+             for r in degraded if r.repair_time + r.transfer_time > 0]))
+        amplification = float(np.mean(
+            [system.catalog.placement_of(o, 0).read_amplification
+             for o in requests]))
+        report = system.run_recovery(0)
+        if layout_name == "Geometric":
+            chunk_class = "Small -> Large"
+        elif layout_name == "Stripe":
+            chunk_class = "Small"
+        else:
+            chunk_class = "Large"
+        rows.append(LayoutSummaryRow(
+            layout=layout_name,
+            chunk_size_class=chunk_class,
+            pipelining_efficiency=efficiency,
+            read_amplification=amplification,
+            recovery_disk_bandwidth=report.disk_bandwidth,
+        ))
+    return rows
+
+
+def to_text(rows: list[LayoutSummaryRow]) -> str:
+    """Render the result as a paper-style text table."""
+    def pipe_label(e):
+        return "Efficient" if e > 0.2 else ("Medium" if e > 0.05 else
+                                            "Not efficient")
+
+    def amp_label(a):
+        return "No" if a < 1.05 else ("Medium" if a < 2 else "Severe")
+
+    bw_values = sorted(r.recovery_disk_bandwidth for r in rows)
+
+    def bw_label(b):
+        if b >= bw_values[-1] * 0.99:
+            return "High"
+        if b <= bw_values[0] * 1.01:
+            return "Low"
+        return "Medium"
+
+    return format_table(
+        ["Layout", "Chunk size", "Pipelining", "Read amplification",
+         "Disk throughput for recovery"],
+        [[r.layout, r.chunk_size_class,
+          f"{pipe_label(r.pipelining_efficiency)} ({r.pipelining_efficiency * 100:.0f}%)",
+          f"{amp_label(r.read_amplification)} ({r.read_amplification:.2f}x)",
+          f"{bw_label(r.recovery_disk_bandwidth)} "
+          f"({r.recovery_disk_bandwidth / MB:.0f} MB/s)"] for r in rows])

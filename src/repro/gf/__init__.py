@@ -1,0 +1,58 @@
+"""Galois-field GF(2^8) arithmetic substrate.
+
+Everything in :mod:`repro.codes` is built on the primitives here: scalar and
+vectorized field arithmetic (:mod:`repro.gf.field`), dense matrix algebra
+(:mod:`repro.gf.matrix`), and a symbolic linear-system solver used by the Clay
+code's single-node repair (:mod:`repro.gf.solve`).
+
+The field is GF(256) with the primitive polynomial ``x^8+x^4+x^3+x^2+1``
+(0x11D), the conventional choice of Reed-Solomon implementations such as
+jerasure and ISA-L.
+"""
+
+from repro.gf.field import (
+    GF_ORDER,
+    PRIMITIVE_ELEMENT,
+    PRIMITIVE_POLY,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    gf_xor_mul_into,
+)
+from repro.gf.matrix import (
+    SingularMatrixError,
+    cauchy_matrix,
+    mat_inv,
+    mat_mul,
+    mat_rank,
+    mat_vec,
+    systematic_generator,
+    vandermonde,
+)
+from repro.gf.solve import GFLinearSystem, UnderdeterminedSystemError
+
+__all__ = [
+    "GF_ORDER",
+    "PRIMITIVE_ELEMENT",
+    "PRIMITIVE_POLY",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_mul_bytes",
+    "gf_pow",
+    "gf_xor_mul_into",
+    "SingularMatrixError",
+    "cauchy_matrix",
+    "mat_inv",
+    "mat_mul",
+    "mat_rank",
+    "mat_vec",
+    "systematic_generator",
+    "vandermonde",
+    "GFLinearSystem",
+    "UnderdeterminedSystemError",
+]

@@ -1,0 +1,125 @@
+"""Scalar and vectorized GF(2^8) arithmetic.
+
+The module precomputes three lookup tables at import time:
+
+* ``EXP``/``LOG`` — discrete exponential/logarithm with respect to the
+  primitive element 2,
+* ``MUL_TABLE`` — the full 256x256 multiplication table, which makes
+  vectorized multiplication a single fancy-indexing operation, and
+* ``INV_TABLE`` — multiplicative inverses.
+
+All public functions accept Python ints or ``numpy`` arrays of ``uint8`` and
+broadcast like the corresponding numpy operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The field size.
+GF_ORDER = 256
+
+#: x^8 + x^4 + x^3 + x^2 + 1, the conventional RS primitive polynomial.
+PRIMITIVE_POLY = 0x11D
+
+#: 2 generates the multiplicative group under this polynomial.
+PRIMITIVE_ELEMENT = 2
+
+
+def _build_log_exp() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    # Duplicate so that EXP[log(a) + log(b)] never needs a modulo.
+    exp[255:510] = exp[:255]
+    return exp, log
+
+
+EXP, LOG = _build_log_exp()
+
+
+def _build_mul_table() -> np.ndarray:
+    a = np.arange(256)
+    log_sum = LOG[a][:, None] + LOG[a][None, :]
+    table = EXP[log_sum].copy()
+    table[0, :] = 0
+    table[:, 0] = 0
+    return table
+
+
+MUL_TABLE = _build_mul_table()
+
+INV_TABLE = np.zeros(256, dtype=np.uint8)
+INV_TABLE[1:] = EXP[255 - LOG[np.arange(1, 256)]]
+
+
+def gf_add(a, b):
+    """Field addition (XOR). Accepts ints or uint8 arrays."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return int(a) ^ int(b)
+    return np.bitwise_xor(a, b)
+
+
+def gf_mul(a, b):
+    """Field multiplication; broadcasts over numpy arrays."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return int(MUL_TABLE[a, b])
+    return MUL_TABLE[a, b]
+
+
+def gf_inv(a):
+    """Multiplicative inverse. Raises ZeroDivisionError on 0."""
+    if isinstance(a, (int, np.integer)):
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return int(INV_TABLE[a])
+    a = np.asarray(a)
+    if np.any(a == 0):
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return INV_TABLE[a]
+
+
+def gf_div(a, b):
+    """Field division ``a / b``."""
+    return gf_mul(a, gf_inv(b))
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Scalar exponentiation ``a**n`` (n may be any integer; a != 0 for n<0)."""
+    if a == 0:
+        if n == 0:
+            return 1
+        if n < 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return 0
+    e = (LOG[a] * n) % 255
+    return int(EXP[e])
+
+
+def gf_mul_bytes(coeff: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by the scalar ``coeff``.
+
+    This is the inner loop of all codecs: one row of the multiplication
+    table acts as a 256-entry substitution box applied with fancy indexing.
+    """
+    if coeff == 0:
+        return np.zeros_like(data)
+    if coeff == 1:
+        return data.copy()
+    return MUL_TABLE[coeff][data]
+
+
+def gf_xor_mul_into(acc: np.ndarray, coeff: int, data: np.ndarray) -> None:
+    """In-place ``acc ^= coeff * data`` over byte buffers (codec hot path)."""
+    if coeff == 0:
+        return
+    if coeff == 1:
+        np.bitwise_xor(acc, data, out=acc)
+    else:
+        np.bitwise_xor(acc, MUL_TABLE[coeff][data], out=acc)

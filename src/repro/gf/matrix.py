@@ -1,0 +1,146 @@
+"""Dense matrix algebra over GF(2^8).
+
+Matrices are plain ``numpy.uint8`` 2-D arrays. The routines here are the
+building blocks for erasure-code generator matrices: multiplication,
+Gauss-Jordan inversion, rank, and the classic Vandermonde/Cauchy
+constructions whose square submatrices are always invertible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import INV_TABLE, MUL_TABLE, gf_pow
+
+
+class SingularMatrixError(ValueError):
+    """Raised when asked to invert a singular matrix over GF(256)."""
+
+
+def _as_gf(a) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.uint8)
+    return arr
+
+
+def mat_mul(a, b) -> np.ndarray:
+    """Matrix product over GF(256).
+
+    Computed as an XOR-reduction of the elementwise multiplication table
+    lookups, vectorized across the shared dimension.
+    """
+    a = _as_gf(a)
+    b = _as_gf(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+    # products[i, j, l] = a[i, l] * b[l, j]
+    products = MUL_TABLE[a[:, :, None], b[None, :, :]]
+    return np.bitwise_xor.reduce(products, axis=1)
+
+
+def mat_vec(a, x) -> np.ndarray:
+    """Matrix-vector product over GF(256)."""
+    a = _as_gf(a)
+    x = _as_gf(x)
+    if x.ndim != 1 or a.shape[1] != x.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} @ {x.shape}")
+    return np.bitwise_xor.reduce(MUL_TABLE[a, x[None, :]], axis=1)
+
+
+def mat_identity(n: int) -> np.ndarray:
+    """Identity matrix over GF(256)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def _eliminate(m: np.ndarray, pivot_row: int, col: int) -> None:
+    """Scale the pivot row to 1 and clear ``col`` in every other row."""
+    inv = INV_TABLE[m[pivot_row, col]]
+    m[pivot_row] = MUL_TABLE[inv][m[pivot_row]]
+    factors = m[:, col].copy()
+    factors[pivot_row] = 0
+    m ^= MUL_TABLE[factors[:, None], m[pivot_row][None, :]]
+
+
+def mat_inv(a) -> np.ndarray:
+    """Gauss-Jordan inverse over GF(256)."""
+    a = _as_gf(a)
+    n = a.shape[0]
+    if a.ndim != 2 or a.shape[1] != n:
+        raise ValueError(f"matrix is not square: {a.shape}")
+    m = np.concatenate([a.copy(), mat_identity(n)], axis=1)
+    for col in range(n):
+        pivot_candidates = np.nonzero(m[col:, col])[0]
+        if pivot_candidates.size == 0:
+            raise SingularMatrixError(f"singular at column {col}")
+        pivot = col + int(pivot_candidates[0])
+        if pivot != col:
+            m[[col, pivot]] = m[[pivot, col]]
+        _eliminate(m, col, col)
+    return m[:, n:].copy()
+
+
+def mat_rank(a) -> int:
+    """Rank over GF(256) via row reduction."""
+    m = _as_gf(a).copy()
+    rows, cols = m.shape
+    rank = 0
+    for col in range(cols):
+        if rank == rows:
+            break
+        pivot_candidates = np.nonzero(m[rank:, col])[0]
+        if pivot_candidates.size == 0:
+            continue
+        pivot = rank + int(pivot_candidates[0])
+        if pivot != rank:
+            m[[rank, pivot]] = m[[pivot, rank]]
+        _eliminate(m, rank, col)
+        rank += 1
+    return rank
+
+
+def vandermonde(rows: int, points: list[int] | np.ndarray) -> np.ndarray:
+    """``rows`` x ``len(points)`` Vandermonde matrix V[i, j] = points[j]**i.
+
+    If the evaluation points are distinct and non-zero, every ``rows`` x
+    ``rows`` submatrix is invertible, which makes V a valid parity-check
+    matrix of an MDS code.
+    """
+    points = list(points)
+    if len(set(points)) != len(points):
+        raise ValueError("Vandermonde points must be distinct")
+    out = np.zeros((rows, len(points)), dtype=np.uint8)
+    for j, x in enumerate(points):
+        for i in range(rows):
+            out[i, j] = gf_pow(x, i)
+    return out
+
+
+def cauchy_matrix(xs: list[int], ys: list[int]) -> np.ndarray:
+    """Cauchy matrix C[i, j] = 1 / (xs[i] + ys[j]).
+
+    Requires all ``xs[i] + ys[j] != 0`` (i.e. xs and ys disjoint) and
+    elements within xs / ys distinct; then every square submatrix is
+    invertible.
+    """
+    if set(xs) & set(ys):
+        raise ValueError("Cauchy xs and ys must be disjoint")
+    if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
+        raise ValueError("Cauchy points must be distinct")
+    out = np.zeros((len(xs), len(ys)), dtype=np.uint8)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = INV_TABLE[x ^ y]
+    return out
+
+
+def systematic_generator(k: int, r: int) -> np.ndarray:
+    """Systematic ``(k+r) x k`` generator matrix ``[I; P]`` of an MDS code.
+
+    P is a Cauchy block, so any k rows of the result are linearly
+    independent -- the defining property of an (k+r, k) MDS code.
+    """
+    if k + r > 256:
+        raise ValueError("k + r must not exceed the field size 256")
+    xs = list(range(k, k + r))
+    ys = list(range(k))
+    parity = cauchy_matrix(xs, ys)
+    return np.concatenate([mat_identity(k), parity], axis=0)

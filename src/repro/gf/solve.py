@@ -1,0 +1,115 @@
+"""Symbolic linear-system solving over GF(2^8).
+
+The Clay code's single-node repair (see :mod:`repro.codes.clay`) is most
+cleanly expressed as a linear system whose unknowns are uncoupled sub-chunks
+and whose right-hand side is a linear function of the sub-chunks actually
+read from surviving nodes.  This module row-reduces such a system *once*
+(symbolically, i.e. with the inputs kept as formal symbols) and produces a
+"solution matrix" R with ``unknowns = R @ inputs`` that can then be applied
+to arbitrarily long byte buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import INV_TABLE, MUL_TABLE
+
+
+class UnderdeterminedSystemError(ValueError):
+    """Raised when the system does not determine all requested unknowns."""
+
+    def __init__(self, undetermined: list[int]):
+        self.undetermined = undetermined
+        super().__init__(f"{len(undetermined)} unknowns undetermined: "
+                         f"{undetermined[:10]}{'...' if len(undetermined) > 10 else ''}")
+
+
+class GFLinearSystem:
+    """Accumulates GF(256) equations ``sum(c_j * u_j) = sum(d_i * s_i)``.
+
+    ``u`` are unknowns (indexed 0..n_unknowns-1) and ``s`` are formal input
+    symbols (indexed 0..n_inputs-1).  Call :meth:`solve` to obtain the
+    (n_unknowns x n_inputs) matrix expressing every unknown in terms of the
+    inputs.
+    """
+
+    def __init__(self, n_unknowns: int, n_inputs: int):
+        if n_unknowns <= 0 or n_inputs <= 0:
+            raise ValueError("system dimensions must be positive")
+        self.n_unknowns = n_unknowns
+        self.n_inputs = n_inputs
+        self._rows: list[np.ndarray] = []
+
+    def add_equation(self, unknown_coeffs: dict[int, int],
+                     input_coeffs: dict[int, int]) -> None:
+        """Add one equation; coefficient dicts map index -> GF element."""
+        row = np.zeros(self.n_unknowns + self.n_inputs, dtype=np.uint8)
+        for j, c in unknown_coeffs.items():
+            if not 0 <= j < self.n_unknowns:
+                raise IndexError(f"unknown index {j} out of range")
+            row[j] ^= np.uint8(c)
+        for i, c in input_coeffs.items():
+            if not 0 <= i < self.n_inputs:
+                raise IndexError(f"input index {i} out of range")
+            row[self.n_unknowns + i] ^= np.uint8(c)
+        self._rows.append(row)
+
+    @property
+    def n_equations(self) -> int:
+        """Number of equations added so far."""
+        return len(self._rows)
+
+    def solve(self, required: list[int] | None = None) -> np.ndarray:
+        """Row-reduce and return R (n_unknowns x n_inputs) with u = R @ s.
+
+        ``required`` limits which unknowns must be determined; rows of R for
+        undetermined-but-not-required unknowns are zero.  Redundant equations
+        are tolerated (they reduce to consistency rows and are dropped).
+        """
+        if not self._rows:
+            raise ValueError("no equations")
+        m = np.stack(self._rows)
+        n = self.n_unknowns
+        pivot_of_col: dict[int, int] = {}
+        rank = 0
+        for col in range(n):
+            if rank == m.shape[0]:
+                break
+            candidates = np.nonzero(m[rank:, col])[0]
+            if candidates.size == 0:
+                continue
+            pivot = rank + int(candidates[0])
+            if pivot != rank:
+                m[[rank, pivot]] = m[[pivot, rank]]
+            inv = INV_TABLE[m[rank, col]]
+            m[rank] = MUL_TABLE[inv][m[rank]]
+            factors = m[:, col].copy()
+            factors[rank] = 0
+            m ^= MUL_TABLE[factors[:, None], m[rank][None, :]]
+            pivot_of_col[col] = rank
+            rank += 1
+
+        wanted = range(n) if required is None else required
+        undetermined = [j for j in wanted if j not in pivot_of_col]
+        if undetermined:
+            raise UnderdeterminedSystemError(undetermined)
+
+        solution = np.zeros((n, self.n_inputs), dtype=np.uint8)
+        for col, row in pivot_of_col.items():
+            # After full elimination the pivot row reads u_col = rhs part.
+            # Any residual coefficients on non-pivot unknown columns would
+            # mean u_col depends on a free variable; required unknowns were
+            # checked above, and free variables only ever pair with other
+            # free variables, so pivot rows of determined unknowns are clean
+            # whenever every unknown they touch is determined.
+            lhs = m[row, :n].copy()
+            lhs[col] = 0
+            if np.any(lhs):
+                # u_col is entangled with free unknowns: only acceptable if
+                # the caller did not require it.
+                if required is None or col in required:
+                    raise UnderdeterminedSystemError([col])
+                continue
+            solution[col] = m[row, n:]
+        return solution

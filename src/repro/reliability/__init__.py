@@ -1,0 +1,25 @@
+"""Durability modelling: MTTDL as a function of recovery speed (§2.1).
+
+The paper motivates recovery efficiency with "efficient recovery can reduce
+MTTL, increasing the durability of the system".  This package quantifies
+that: a continuous-time Markov chain over failure states gives the mean
+time to data loss of one placement group, fed by the erasure code's exact
+fatal-failure combinatorics (non-MDS codes like LRC can die before
+exhausting r failures) and by recovery times measured on the simulator.
+"""
+
+from repro.reliability.markov import (
+    ReliabilityParams,
+    annual_durability,
+    fatal_probabilities_for_code,
+    mttdl_group,
+    system_mttdl,
+)
+
+__all__ = [
+    "ReliabilityParams",
+    "annual_durability",
+    "fatal_probabilities_for_code",
+    "mttdl_group",
+    "system_mttdl",
+]

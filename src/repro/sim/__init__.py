@@ -1,0 +1,22 @@
+"""A small discrete-event simulation kernel (simpy-style).
+
+The RCStor cluster model (:mod:`repro.cluster`) is built on this engine:
+generator-coroutine processes, timeouts, composite events, and FIFO /
+priority resources with utilization accounting.  Simulated time is in
+seconds; the engine is deterministic given deterministic processes.
+"""
+
+from repro.sim.engine import AllOf, Environment, Event, Process, SimulationError, Timeout
+from repro.sim.resources import PriorityResource, Request, Resource
+
+__all__ = [
+    "AllOf",
+    "Environment",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "PriorityResource",
+    "Request",
+    "Resource",
+]

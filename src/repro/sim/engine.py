@@ -1,0 +1,189 @@
+"""Event loop, events, timeouts and generator-coroutine processes.
+
+Processes are Python generators that ``yield`` events; the engine resumes a
+process with the event's value once it triggers.  A process is itself an
+event that triggers with the generator's return value, so processes can wait
+on each other and on :class:`AllOf` fan-ins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (e.g. yielding a non-event)."""
+
+
+class Event:
+    """A one-shot event; callbacks fire when it triggers."""
+
+    __slots__ = ("env", "callbacks", "_value", "triggered")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self.triggered = False
+
+    @property
+    def value(self) -> Any:
+        """The value the event triggered with."""
+        if not self.triggered:
+            raise SimulationError("event has not triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger now (schedules callbacks at the current time)."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self.env._schedule_callbacks(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.triggered = True  # pre-armed: nobody may succeed() it again
+        self._value = value
+        env._schedule_at(env.now + delay, self)
+
+
+class Process(Event):
+    """Wraps a generator; triggers with the generator's return value."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        if not hasattr(gen, "send"):
+            raise SimulationError("process target must be a generator")
+        self._gen = gen
+        # Start the process at the current time.
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        try:
+            target = self._gen.send(trigger._value)
+        except StopIteration as stop:
+            self.triggered = True
+            self._value = stop.value
+            self.env._schedule_callbacks(self)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield events")
+        if target.triggered and not target.callbacks and target not in self.env._pending:
+            # Already fired and drained: resume immediately via a fresh hop.
+            hop = Event(self.env)
+            hop.callbacks.append(self._resume)
+            hop.succeed(target._value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Triggers once every child event has triggered (value: list of values)."""
+
+    __slots__ = ("_waiting", "_events")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._waiting = 0
+        for ev in self._events:
+            if ev.triggered and not ev.callbacks and ev not in env._pending:
+                continue
+            self._waiting += 1
+            ev.callbacks.append(self._child_done)
+        if self._waiting == 0:
+            self.succeed([ev._value for ev in self._events])
+
+    def _child_done(self, _ev: Event) -> None:
+        self._waiting -= 1
+        if self._waiting == 0 and not self.triggered:
+            self.succeed([ev._value for ev in self._events])
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._pending: set[Event] = set()
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+        self._pending.add(event)
+
+    def _schedule_callbacks(self, event: Event) -> None:
+        self._schedule_at(self.now, event)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after the given delay."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator) -> Process:
+        """Start a generator as a process; returns its Process event."""
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when every given event has triggered."""
+        return AllOf(self, events)
+
+    def run(self, until: Event | float | None = None) -> Any:
+        """Run until the given event triggers / time passes / queue drains.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            deadline = None
+        elif until is None:
+            stop_event = None
+            deadline = None
+        else:
+            stop_event = None
+            deadline = float(until)
+        while self._queue:
+            when, _seq, event = self._queue[0]
+            if deadline is not None and when > deadline:
+                self.now = deadline
+                return None
+            heapq.heappop(self._queue)
+            self._pending.discard(event)
+            self.now = when
+            callbacks, event.callbacks = event.callbacks, []
+            for cb in callbacks:
+                cb(event)
+            if stop_event is not None and stop_event.triggered:
+                return stop_event._value
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError("simulation ran dry before the awaited event")
+        if deadline is not None:
+            self.now = deadline
+        return None

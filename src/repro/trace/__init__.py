@@ -1,0 +1,32 @@
+"""Synthetic object-storage traces (substitute for the Alibaba trace).
+
+The paper samples its two workloads from a production Alibaba Cloud Object
+Storage trace (Figure 7, Table 2) that we cannot redistribute here.  This
+package generates synthetic traces whose *published* properties match:
+
+* the byte-CDF shapes of Figure 7 (capacity dominated by multi-MB objects,
+  >97.7% of capacity above 4 MB; read traffic skewed further right),
+* Table 2's workload statistics (W1: 4 MB–4 GB, mean 102.8 MB;
+  W2: 4 KB–4 MB, mean 101.3 KB; request means 148.5 MB / 72.0 KB).
+
+All sampling is deterministic given a ``numpy.random.Generator``.
+"""
+
+from repro.trace.distribution import TruncatedLognormal, solve_median_for_mean
+from repro.trace.generator import AliTraceModel, TraceObject
+from repro.trace.workloads import W1, W2, MixtureWorkload, RequestSampler, Workload
+from repro.trace.cdf import byte_cdf, count_cdf
+
+__all__ = [
+    "TruncatedLognormal",
+    "solve_median_for_mean",
+    "AliTraceModel",
+    "TraceObject",
+    "W1",
+    "W2",
+    "MixtureWorkload",
+    "RequestSampler",
+    "Workload",
+    "byte_cdf",
+    "count_cdf",
+]

@@ -1,0 +1,136 @@
+"""Truncated lognormal building block for object-size distributions.
+
+Object sizes in BLOB stores span six orders of magnitude and are classically
+modelled as (mixtures of) lognormals; truncation pins each workload to its
+published size range, and a closed-form mean lets us solve the lognormal
+median so the sampled mean matches Table 2 exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def _phi(x: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+class TruncatedLognormal:
+    """Lognormal conditioned on ``lo <= X <= hi``."""
+
+    def __init__(self, median: float, sigma: float, lo: float, hi: float):
+        if not (0 < lo < hi):
+            raise ValueError("need 0 < lo < hi")
+        if median <= 0 or sigma <= 0:
+            raise ValueError("median and sigma must be positive")
+        self.mu = math.log(median)
+        self.sigma = sigma
+        self.lo = lo
+        self.hi = hi
+        self._a = (math.log(lo) - self.mu) / sigma
+        self._b = (math.log(hi) - self.mu) / sigma
+        self._mass = _phi(self._b) - _phi(self._a)
+        if self._mass <= 0:
+            raise ValueError("truncation interval carries no probability mass")
+
+    def mean(self) -> float:
+        """E[X | lo <= X <= hi].
+
+        Uses the closed form when it is numerically trustworthy and falls
+        back to a max-shifted log-space quadrature deep in the tails, where
+        the two normal-CDF differences underflow.
+        """
+        if self._mass > 1e-10:
+            shift = self.sigma
+            numer = _phi(self._b - shift) - _phi(self._a - shift)
+            value = math.exp(self.mu + self.sigma ** 2 / 2) * numer / self._mass
+            if math.isfinite(value) and self.lo <= value <= self.hi:
+                return value
+        return self._numeric_mean()
+
+    def _numeric_mean(self) -> float:
+        """Quadrature of E[X] on the log grid; stable for any (mu, sigma)
+        because the density is renormalised by its maximum exponent."""
+        u = np.linspace(math.log(self.lo), math.log(self.hi), 16_384)
+        log_w = -((u - self.mu) ** 2) / (2 * self.sigma ** 2)  # density over du
+        log_w -= log_w.max()
+        w = np.exp(log_w)
+        return float(np.sum(w * np.exp(u)) / np.sum(w))
+
+    def cdf(self, x: float) -> float:
+        """Cumulative probability of sizes <= x."""
+        if x <= self.lo:
+            return 0.0
+        if x >= self.hi:
+            return 1.0
+        z = (math.log(x) - self.mu) / self.sigma
+        return (_phi(z) - _phi(self._a)) / self._mass
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Inverse-free rejection-less sampling via truncated normal CDF."""
+        u = rng.uniform(_phi(self._a), _phi(self._b), size=n)
+        # Invert the standard normal CDF (vectorised Beasley-Springer/Moro
+        # is overkill; scipy-free: use the erfinv available in numpy >= 1.24
+        # via np.special? Not available — use a stable rational approx.)
+        z = _norm_ppf(u)
+        return np.exp(self.mu + self.sigma * z)
+
+
+def _norm_ppf(p: np.ndarray) -> np.ndarray:
+    """Acklam's rational approximation of the normal quantile (|err|<1e-9)."""
+    p = np.asarray(p, dtype=np.float64)
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    out = np.empty_like(p)
+
+    low = p < p_low
+    if np.any(low):
+        q = np.sqrt(-2 * np.log(p[low]))
+        out[low] = ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+                    / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    mid = (p >= p_low) & (p <= p_high)
+    if np.any(mid):
+        q = p[mid] - 0.5
+        r = q * q
+        out[mid] = ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+                    / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1))
+    high = p > p_high
+    if np.any(high):
+        q = np.sqrt(-2 * np.log1p(-p[high]))
+        out[high] = -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+                      / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    return out
+
+
+def solve_median_for_mean(sigma: float, lo: float, hi: float,
+                          target_mean: float) -> float:
+    """Median m such that TruncatedLognormal(m, sigma, lo, hi).mean() hits
+    ``target_mean`` (bisection; the truncated mean is monotone in m)."""
+    if not lo < target_mean < hi:
+        raise ValueError("target mean must lie inside the truncation interval")
+    # Extreme sigmas push the required median far outside [lo, hi]; use a
+    # very wide bracket (the truncated mean is still monotone in the median).
+    lo_m, hi_m = lo * 1e-12, hi * 1e12
+    for _ in range(300):
+        mid = math.sqrt(lo_m * hi_m)
+        try:
+            mean = TruncatedLognormal(mid, sigma, lo, hi).mean()
+        except ValueError:
+            # Truncation mass underflowed: the distribution sits entirely
+            # below lo (mean -> lo) or above hi (mean -> hi).
+            mean = lo if mid < math.sqrt(lo * hi) else hi
+        if mean < target_mean:
+            lo_m = mid
+        else:
+            hi_m = mid
+    return math.sqrt(lo_m * hi_m)

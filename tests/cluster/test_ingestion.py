@@ -1,0 +1,91 @@
+"""Tests for the staged put path and batch export (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, RCStor
+from repro.cluster.ingestion import (
+    REPLICATION,
+    measure_puts,
+    parity_update_cost,
+    run_batch_export,
+    _staging_disks,
+)
+from repro.codes import ClayCode
+from repro.core import GeometricLayout
+
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def system():
+    config = ClusterConfig(n_pgs=32)
+    return RCStor(config, GeometricLayout(4 * MB, 2, max_chunk_size=256 * MB),
+                  ClayCode(10, 4))
+
+
+def test_staging_disks_on_distinct_nodes(system):
+    config = system.config
+    for object_id in range(40):
+        disks = _staging_disks(system, object_id)
+        assert len(disks) == REPLICATION
+        nodes = {config.node_of(d) for d in disks}
+        assert len(nodes) == REPLICATION
+
+
+def test_put_latency_transfer_bound(system):
+    """Puts are acked after upload + slowest replica write; at 1 Gbps the
+    client upload dominates."""
+    report = measure_puts(system, [64 * MB])
+    upload = 64 * MB / (125 * MB)
+    assert report.mean_latency >= upload
+    assert report.mean_latency < 1.3 * upload
+    assert report.write_amplification == 3.0
+
+
+def test_put_latency_scales_with_size(system):
+    small = measure_puts(system, [8 * MB] * 5)
+    large = measure_puts(system, [64 * MB] * 5)
+    assert large.mean_latency > 4 * small.mean_latency
+
+
+def test_put_p95_at_least_mean(system):
+    report = measure_puts(system, [16 * MB, 32 * MB, 64 * MB, 128 * MB])
+    assert report.p95_latency >= report.mean_latency
+
+
+def test_busy_puts_slower(system):
+    idle = measure_puts(system, [32 * MB] * 6)
+    busy = measure_puts(system, [32 * MB] * 6, busy=True, seed=3)
+    assert busy.mean_latency >= idle.mean_latency
+
+
+def test_batch_export_accounting(system):
+    rng = np.random.default_rng(0)
+    sizes = rng.integers(4 * MB, 64 * MB, size=50)
+    report = run_batch_export(system, sizes)
+    assert report.exported_bytes == sizes.sum()
+    assert report.read_bytes == sizes.sum()
+    # Writes = data + amortised parity share (r/k = 0.4).
+    assert report.written_bytes == pytest.approx(1.4 * sizes.sum(), rel=0.01)
+    assert report.io_amplification == pytest.approx(2.4, rel=0.01)
+    assert report.export_rate > 0
+    assert report.makespan > 0
+
+
+def test_batch_export_concurrency_speeds_up(system):
+    rng = np.random.default_rng(1)
+    sizes = rng.integers(4 * MB, 32 * MB, size=60)
+    serial = run_batch_export(system, sizes, concurrency=1)
+    parallel = run_batch_export(system, sizes, concurrency=32)
+    assert parallel.makespan < 0.5 * serial.makespan
+
+
+def test_parity_update_cost_saving():
+    """Batch export avoids reading old parities on every object write."""
+    cost = parity_update_cost(100 * MB)
+    assert cost["update_in_place"]["read"] == pytest.approx(40 * MB)
+    assert cost["batch_export"]["read"] == 0.0
+    assert cost["saving_bytes"] == pytest.approx(40 * MB)
+    assert (cost["update_in_place"]["write"]
+            == cost["batch_export"]["write"])

@@ -1,0 +1,108 @@
+"""Tests for the §5.2 memory pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.memory import (
+    IN_MEMORY,
+    ON_DISK,
+    ChunkTooLargeError,
+    MemoryPool,
+)
+
+MB = 1 << 20
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MemoryPool(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        MemoryPool(retention=0)
+
+
+def test_allocation_cap_at_256mb():
+    """§5.2: never allocate chunks above 256 MB."""
+    pool = MemoryPool(capacity_bytes=2 << 30)
+    with pytest.raises(ChunkTooLargeError):
+        pool.allocate("huge", 257 * MB, now=0.0)
+    pool.allocate("ok", 256 * MB, now=0.0)
+    assert pool.used_bytes == 256 * MB
+
+
+def test_lookup_states():
+    pool = MemoryPool(capacity_bytes=1 << 30, retention=10)
+    pool.allocate("a", 4 * MB, now=0.0)
+    assert pool.lookup("a", now=1.0) == IN_MEMORY
+    assert pool.lookup("never", now=1.0) is None
+    # After the retention window, requests are redirected to disk.
+    assert pool.lookup("a", now=11.0) == ON_DISK
+    assert pool.stats.memory_hits == 1
+    assert pool.stats.disk_redirects == 1
+    assert pool.stats.misses == 1
+
+
+def test_expiry_flushes_to_disk():
+    pool = MemoryPool(capacity_bytes=1 << 30, retention=5)
+    pool.allocate("a", 8 * MB, now=0.0)
+    pool.allocate("b", 8 * MB, now=3.0)
+    assert pool.expire(now=5.0) == 1  # only "a" expired
+    assert pool.used_bytes == 8 * MB
+    assert pool.lookup("a", now=5.0) == ON_DISK
+    assert pool.lookup("b", now=5.0) == IN_MEMORY
+
+
+def test_pressure_flushes_oldest_first():
+    """Slow-client protection: memory pressure evicts the oldest chunk."""
+    pool = MemoryPool(capacity_bytes=20 * MB, retention=100)
+    pool.allocate("old", 8 * MB, now=0.0)
+    pool.allocate("mid", 8 * MB, now=1.0)
+    pool.allocate("new", 8 * MB, now=2.0)  # must flush "old"
+    assert pool.lookup("old", now=2.0) == ON_DISK
+    assert pool.lookup("mid", now=2.0) == IN_MEMORY
+    assert pool.used_bytes == 16 * MB
+    assert pool.stats.flushes == 1
+
+
+def test_release_frees_without_flush():
+    pool = MemoryPool(capacity_bytes=1 << 30)
+    pool.allocate("a", 4 * MB, now=0.0)
+    pool.release("a")
+    assert pool.used_bytes == 0
+    assert pool.lookup("a", now=0.0) is None  # gone entirely, not on disk
+    pool.release("a")  # idempotent
+
+
+def test_double_allocate_rejected():
+    pool = MemoryPool()
+    pool.allocate("a", MB, now=0.0)
+    with pytest.raises(ValueError):
+        pool.allocate("a", MB, now=0.0)
+
+
+def test_reallocation_after_flush_clears_disk_state():
+    pool = MemoryPool(retention=1)
+    pool.allocate("a", MB, now=0.0)
+    pool.expire(now=2.0)
+    assert pool.lookup("a", now=2.0) == ON_DISK
+    pool.allocate("a", MB, now=2.0)  # repaired again
+    assert pool.lookup("a", now=2.5) == IN_MEMORY
+
+
+def test_chunk_larger_than_pool_rejected():
+    pool = MemoryPool(capacity_bytes=2 * MB, max_chunk_bytes=256 * MB)
+    with pytest.raises(ChunkTooLargeError):
+        pool.allocate("a", 4 * MB, now=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 64), st.floats(0, 100)),
+                min_size=1, max_size=50))
+def test_property_used_bytes_never_exceed_capacity(ops):
+    pool = MemoryPool(capacity_bytes=128 * MB, retention=10)
+    now = 0.0
+    for i, (size_mb, advance) in enumerate(ops):
+        now += advance
+        pool.allocate(f"c{i}", size_mb * MB, now=now)
+        assert 0 <= pool.used_bytes <= 128 * MB
+        assert pool.resident_chunks <= 128 // 1  # sanity

@@ -1,0 +1,154 @@
+"""Tests for §5.1 metadata management (index files)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.catalog import Catalog
+from repro.cluster.metadata import (
+    ChunkPosition,
+    IndexRecord,
+    PGIndex,
+    build_indexes,
+)
+from repro.core import GeometricLayout
+from repro.trace import W1
+
+MB = 1 << 20
+
+
+def make_record(**overrides):
+    defaults = dict(object_id=42, size=100 * MB, disk_id=7, checksum=0xDEAD,
+                    chunk_positions=(ChunkPosition(1, 0), ChunkPosition(2, 3)),
+                    front_length=123, front_offset=456)
+    defaults.update(overrides)
+    return IndexRecord(**defaults)
+
+
+def test_chunk_position_validation():
+    with pytest.raises(ValueError):
+        ChunkPosition(0, 0)
+    with pytest.raises(ValueError):
+        ChunkPosition(1, 70000)  # bucket slot must fit 2 bytes (§5.1)
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        make_record(object_id=-1)
+    with pytest.raises(ValueError):
+        make_record(disk_id=70000)
+    with pytest.raises(ValueError):
+        make_record(front_length=0, front_offset=10)
+
+
+def test_record_roundtrip():
+    record = make_record()
+    data = record.serialize()
+    parsed, offset = IndexRecord.deserialize(data)
+    assert parsed == record
+    assert offset == len(data) == record.record_bytes
+
+
+def test_record_without_front_is_smaller():
+    with_front = make_record()
+    without = make_record(front_length=0, front_offset=0)
+    assert without.record_bytes == with_front.record_bytes - 4
+
+
+def test_average_record_size_is_about_40_bytes():
+    """§5.1: 'the average metadata size of an object is about 40 bytes'."""
+    rng = np.random.default_rng(0)
+    sizes = W1.sample_sizes(rng, 500)
+    cluster = Cluster(ClusterConfig(n_pgs=32))
+    catalog = Catalog(cluster, GeometricLayout(4 * MB, 2, max_chunk_size=256 * MB))
+    catalog.ingest(sizes)
+    indexes = build_indexes(catalog)
+    total = sum(i.size_bytes for i in indexes.values())
+    per_object = total / len(catalog.objects)
+    assert 25 <= per_object <= 55
+
+
+def test_pg_index_roundtrip_and_lookup():
+    index = PGIndex(9)
+    index.append(make_record(object_id=1))
+    index.append(make_record(object_id=2, front_length=0, front_offset=0))
+    data = index.serialize()
+    parsed = PGIndex.deserialize(data)
+    assert parsed.pg_id == 9
+    assert len(parsed.records) == 2
+    assert parsed.lookup(2).object_id == 2
+    with pytest.raises(KeyError):
+        parsed.lookup(3)
+
+
+def test_pg_index_detects_corruption():
+    index = PGIndex(1)
+    index.append(make_record())
+    data = bytearray(index.serialize())
+    data[15] ^= 0xFF
+    with pytest.raises(ValueError):
+        PGIndex.deserialize(bytes(data))
+
+
+def test_pg_index_truncation_rejected():
+    with pytest.raises(ValueError):
+        PGIndex.deserialize(b"short")
+
+
+def test_replica_placement():
+    """Indexes are replicated on r + 1 distinct disks of the PG."""
+    index = PGIndex(3)
+    pg_disks = tuple(range(100, 114))
+    replicas = index.replica_disks(pg_disks)
+    assert len(replicas) == 5
+    assert len(set(replicas)) == 5
+    assert all(d in pg_disks for d in replicas)
+    with pytest.raises(ValueError):
+        index.replica_disks((1, 2, 3))
+
+
+def test_replica_placement_varies_by_pg():
+    pg_disks = tuple(range(14))
+    a = PGIndex(0).replica_disks(pg_disks)
+    b = PGIndex(1).replica_disks(pg_disks)
+    assert a != b
+
+
+def test_build_indexes_positions_are_dense_per_bucket():
+    """Slots within one (pg, role, level) bucket count up from zero."""
+    cluster = Cluster(ClusterConfig(n_pgs=4))
+    catalog = Catalog(cluster, GeometricLayout(4 * MB, 2))
+    catalog.ingest([32 * MB] * 8)
+    indexes = build_indexes(catalog)
+    seen: dict[tuple, list[int]] = {}
+    for pg_id, index in indexes.items():
+        for record in index.records:
+            obj = catalog.objects[record.object_id]
+            for pos in record.chunk_positions:
+                seen.setdefault((pg_id, obj.role, pos.level), []).append(pos.slot)
+    for slots in seen.values():
+        assert sorted(slots) == list(range(len(slots)))
+
+
+def test_index_memory_estimate_matches_catalog():
+    cluster = Cluster(ClusterConfig(n_pgs=8))
+    catalog = Catalog(cluster, GeometricLayout(4 * MB, 2))
+    catalog.ingest([10 * MB, 33 * MB, 200 * MB])
+    indexes = build_indexes(catalog)
+    assert sum(len(i.records) for i in indexes.values()) == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**63 - 1),
+       st.integers(min_value=0, max_value=2**40),
+       st.integers(min_value=0, max_value=65535),
+       st.lists(st.tuples(st.integers(1, 255), st.integers(0, 65535)),
+                max_size=20))
+def test_property_record_roundtrip(object_id, size, disk_id, chunks):
+    record = IndexRecord(object_id, size, disk_id, checksum=0xABCD,
+                         chunk_positions=tuple(ChunkPosition(l, s)
+                                               for l, s in chunks))
+    parsed, _ = IndexRecord.deserialize(record.serialize())
+    assert parsed == record

@@ -1,0 +1,62 @@
+"""Network link tests."""
+
+import pytest
+
+from repro.cluster import GBPS, Link, Nic, client_link
+from repro.sim import Environment
+
+
+def test_transfer_time():
+    env = Environment()
+    link = Link(env, 100.0)
+    assert link.transfer_time(50) == pytest.approx(0.5)
+
+
+def test_bandwidth_validation():
+    with pytest.raises(ValueError):
+        Link(Environment(), 0)
+
+
+def test_negative_transfer_rejected():
+    env = Environment()
+    link = Link(env, 10.0)
+
+    def proc():
+        yield env.process(link.transfer(-1))
+
+    with pytest.raises(ValueError):
+        env.process(proc())
+        env.run()
+
+
+def test_transfers_serialize():
+    env = Environment()
+    link = Link(env, 100.0)
+    done = []
+
+    def job(name):
+        yield env.process(link.transfer(100))
+        done.append((env.now, name))
+
+    env.process(job("a"))
+    env.process(job("b"))
+    env.run()
+    assert done == [(1.0, "a"), (2.0, "b")]
+    assert link.bytes_transferred == 200
+
+
+def test_client_link_bandwidth():
+    env = Environment()
+    link = client_link(env, gbps=1.0)
+    # 1 Gbps = 125 MiB/s here; a 125 MiB transfer takes 1 s.
+    assert link.transfer_time(125 * (1 << 20)) == pytest.approx(1.0)
+    fast = client_link(env, gbps=4.0)
+    assert fast.transfer_time(125 * (1 << 20)) == pytest.approx(0.25)
+
+
+def test_nic_is_fast():
+    env = Environment()
+    nic = Nic(env)
+    # 1 GiB through a 50 Gbps NIC: well under a second.
+    assert nic.transfer_time(1 << 30) < 0.2
+    assert nic.bandwidth == 50 * GBPS

@@ -1,0 +1,78 @@
+"""Repair-profile tests: the codes → simulator bridge."""
+
+import pytest
+
+from repro.cluster import ProfileCache
+from repro.codes import ClayCode, HitchhikerCode, LRCCode, RSCode
+
+MB = 1 << 20
+
+
+def test_rs_profile_reads_k_full_chunks():
+    cache = ProfileCache(RSCode(10, 4))
+    p = cache.get(0, 4 * MB)
+    assert len(p.helpers) == 10
+    assert all(h.nbytes == 4 * MB and h.n_ios == 1 for h in p.helpers)
+    assert p.read_traffic_ratio == pytest.approx(10.0)
+
+
+def test_clay_profile_traffic_and_fragmentation():
+    cache = ProfileCache(ClayCode(10, 4))
+    chunk = 256 * MB
+    expectations = {0: 1, 5: 4, 10: 16, 13: 64}  # Figure 2 cases
+    for failed, ios in expectations.items():
+        p = cache.get(failed, chunk)
+        assert len(p.helpers) == 13
+        assert all(h.n_ios == ios for h in p.helpers)
+        assert all(h.nbytes == chunk // 4 for h in p.helpers)
+        assert p.read_traffic_ratio == pytest.approx(3.25)
+
+
+def test_clay_profile_span_is_full_chunk_when_scattered():
+    cache = ProfileCache(ClayCode(10, 4))
+    p = cache.get(13, 256 * MB)  # worst case: 64 runs across the chunk
+    h = p.helpers[0]
+    assert h.span > h.nbytes
+    # The scattered pattern spans (almost) the whole chunk.
+    assert h.span > 0.9 * 256 * MB
+
+
+def test_lrc_profile_locality():
+    cache = ProfileCache(LRCCode(10, 2, 2))
+    p = cache.get(0, 4 * MB)
+    assert len(p.helpers) == 5  # group members only
+    p_global = cache.get(13, 4 * MB)
+    assert len(p_global.helpers) == 10
+
+
+def test_hitchhiker_profile_half_reads():
+    cache = ProfileCache(HitchhikerCode(10, 4))
+    p = cache.get(0, 4 * MB)
+    assert p.read_traffic_ratio == pytest.approx(6.5)
+    by_role = {h.role: h for h in p.helpers}
+    assert by_role[5].nbytes == 2 * MB  # non-group data node: half chunk
+
+
+def test_profiles_cached():
+    cache = ProfileCache(RSCode(10, 4))
+    assert cache.get(3, MB) is cache.get(3, MB)
+
+
+def test_chunk_rounding_to_alpha():
+    cache = ProfileCache(ClayCode(10, 4))
+    p = cache.get(0, 1000)  # not a multiple of alpha=256
+    assert p.chunk_size == 1024
+    tiny = cache.get(0, 1)
+    assert tiny.chunk_size == 256
+
+
+def test_scaled_profile():
+    cache = ProfileCache(ClayCode(10, 4))
+    p = cache.get(13, 256 * 1024)
+    s = p.scaled(16)
+    assert s.output_bytes == 16 * p.output_bytes
+    assert s.helpers[0].n_ios == 16 * p.helpers[0].n_ios
+    assert s.helpers[0].span == 16 * p.helpers[0].span
+    assert p.scaled(1) is p
+    with pytest.raises(ValueError):
+        p.scaled(0)

@@ -1,0 +1,213 @@
+"""Integration tests of the RCStor simulation (reads + recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, RCStor
+from repro.codes import ClayCode, LRCCode, RSCode
+from repro.core import ContiguousLayout, GeometricLayout, StripeLayout
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ClusterConfig(n_pgs=48)
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    rng = np.random.default_rng(3)
+    return rng.integers(4 * MB, 256 * MB, size=600)
+
+
+@pytest.fixture(scope="module")
+def geo_system(config, sizes):
+    system = RCStor(config, GeometricLayout(4 * MB, 2, max_chunk_size=256 * MB),
+                    ClayCode(10, 4))
+    system.ingest(sizes)
+    return system
+
+
+@pytest.fixture(scope="module")
+def stripe_rs_system(config, sizes):
+    system = RCStor(config, StripeLayout(256 * 1024, 10), RSCode(10, 4))
+    system.ingest(sizes)
+    return system
+
+
+def test_code_must_match_cluster(config):
+    with pytest.raises(ValueError):
+        RCStor(config, GeometricLayout(4 * MB), RSCode(6, 3))
+
+
+def test_normal_read_transfer_bound(geo_system):
+    """At 1 Gbps, normal reads are transfer-dominated (paper §6.2)."""
+    obj = next(o for o in geo_system.catalog.objects if o.size > 50 * MB)
+    [t] = geo_system.measure_normal_reads([obj])
+    transfer = obj.size / (125 * MB)
+    assert t == pytest.approx(transfer, rel=0.25)
+    assert t >= transfer
+
+
+def test_degraded_read_close_to_normal_read(geo_system):
+    """Headline claim: Geo degraded reads ≈ 1.02x normal reads (idle)."""
+    disk = geo_system.catalog.disk_of(geo_system.catalog.objects[0])
+    objs = geo_system.degraded_read_candidates(disk)[:8]
+    normal = geo_system.measure_normal_reads(objs)
+    degraded = [r.total_time for r in
+                geo_system.measure_degraded_reads(objs, disk)]
+    ratio = sum(degraded) / sum(normal)
+    assert 1.0 <= ratio < 1.25
+
+
+def test_degraded_read_breakdown_consistent(geo_system):
+    disk = geo_system.catalog.disk_of(geo_system.catalog.objects[0])
+    objs = geo_system.degraded_read_candidates(disk)[:4]
+    for r in geo_system.measure_degraded_reads(objs, disk):
+        assert r.total_time > 0
+        assert r.repair_time <= r.total_time + 1e-9
+        assert r.transfer_time <= r.total_time + 1e-9
+        # Pipelining: total is far below repair + transfer done serially.
+        assert r.total_time <= r.repair_time + r.transfer_time
+
+
+def test_degraded_read_busy_slower_than_idle(geo_system):
+    disk = geo_system.catalog.disk_of(geo_system.catalog.objects[0])
+    objs = geo_system.degraded_read_candidates(disk)[:6]
+    idle = sum(r.total_time for r in
+               geo_system.measure_degraded_reads(objs, disk))
+    busy = sum(r.total_time for r in
+               geo_system.measure_degraded_reads(objs, disk, busy=True, seed=1))
+    assert busy > idle
+
+
+def test_striped_degraded_read_candidates(stripe_rs_system):
+    cands = stripe_rs_system.degraded_read_candidates(0)
+    assert cands
+    res = stripe_rs_system.measure_degraded_reads(cands[:5], 0)
+    for r in res:
+        transfer = r.object_size / (125 * MB)
+        assert r.total_time >= transfer * 0.99
+
+
+def test_recovery_conserves_bytes(geo_system):
+    report = geo_system.run_recovery(0)
+    expected = geo_system.catalog.total_bytes * 1.4 / geo_system.config.n_disks
+    assert report.repaired_bytes == pytest.approx(expected, rel=0.35)
+    assert report.makespan > 0
+    assert report.n_tasks > 0
+    assert report.recovery_rate > 0
+
+
+def test_recovery_bandwidths_positive(geo_system):
+    report = geo_system.run_recovery(1)
+    assert 0 < report.disk_bandwidth < geo_system.config.disk_model.read_bandwidth
+    assert report.network_bandwidth > 0
+
+
+def test_recovery_busy_slower(geo_system):
+    idle = geo_system.run_recovery(2)
+    busy = geo_system.run_recovery(2, busy=True, seed=5)
+    assert busy.makespan > idle.makespan
+
+
+def test_recovery_deterministic(geo_system):
+    a = geo_system.run_recovery(3)
+    b = geo_system.run_recovery(3)
+    assert a.makespan == pytest.approx(b.makespan)
+
+
+def test_geo_recovers_faster_than_rs_per_byte(geo_system, stripe_rs_system):
+    """The headline: Clay+Geo beats RS-on-stripe recovery clearly."""
+    geo = geo_system.run_recovery(0)
+    rs = stripe_rs_system.run_recovery(0)
+    geo_per_byte = geo.makespan / geo.repaired_bytes
+    rs_per_byte = rs.makespan / rs.repaired_bytes
+    assert rs_per_byte > 1.4 * geo_per_byte
+
+
+def test_fragmented_stripe_clay_recovers_slowest(config, sizes):
+    """Small-strip Clay is the worst recovery configuration (Figure 9)."""
+    stripe_clay = RCStor(config, StripeLayout(256 * 1024, 10), ClayCode(10, 4))
+    stripe_clay.ingest(sizes)
+    geo = RCStor(config, GeometricLayout(4 * MB, 2, max_chunk_size=256 * MB),
+                 ClayCode(10, 4))
+    geo.ingest(sizes)
+    frag = stripe_clay.run_recovery(0)
+    fast = geo.run_recovery(0)
+    assert (frag.makespan / frag.repaired_bytes
+            > 1.5 * fast.makespan / fast.repaired_bytes)
+
+
+def test_contiguous_degraded_read_amplified(config, sizes):
+    con = RCStor(config, ContiguousLayout(64 * MB), ClayCode(10, 4))
+    con.ingest(sizes)
+    geo = RCStor(config, GeometricLayout(4 * MB, 2, max_chunk_size=256 * MB),
+                 ClayCode(10, 4))
+    geo.ingest(sizes)
+    # Same objects ingested in the same order -> same ids; compare means.
+    con_objs = con.degraded_read_candidates(0)[:6]
+    geo_objs = geo.degraded_read_candidates(0)[:6]
+    con_t = np.mean([r.total_time / r.object_size for r in
+                     con.measure_degraded_reads(con_objs, 0)])
+    geo_t = np.mean([r.total_time / r.object_size for r in
+                     geo.measure_degraded_reads(geo_objs, 0)])
+    assert con_t > geo_t
+
+
+def test_lrc_system_runs(config, sizes):
+    lrc = RCStor(config, StripeLayout(256 * 1024, 10), LRCCode(10, 2, 2))
+    lrc.ingest(sizes)
+    report = lrc.run_recovery(0)
+    assert report.recovery_rate > 0
+
+
+def test_degraded_reads_during_recovery(geo_system):
+    """§5.1 IO scheduling: reads complete while recovery is in flight, and
+    background-priority recovery hurts them less than head-on competition."""
+    from repro.cluster import BACKGROUND, FOREGROUND
+
+    objs = geo_system.catalog.objects[:5]
+    with_prio, report_bg = geo_system.measure_degraded_reads_during_recovery(
+        objs, failed_disk=0, recovery_priority=BACKGROUND)
+    without, report_fg = geo_system.measure_degraded_reads_during_recovery(
+        objs, failed_disk=0, recovery_priority=FOREGROUND)
+    assert len(with_prio) == len(without) == 5
+    assert report_bg.repaired_bytes == report_fg.repaired_bytes
+    mean_with = np.mean([r.total_time for r in with_prio])
+    mean_without = np.mean([r.total_time for r in without])
+    assert mean_with <= mean_without * 1.05
+    # Degraded reads under recovery load are slower than on an idle system.
+    idle = geo_system.measure_degraded_reads(objs, None)
+    assert mean_without >= np.mean([r.total_time for r in idle]) * 0.99
+
+
+def test_recovery_weight_limit_throttles(geo_system):
+    unlimited = geo_system.run_recovery(4)
+    throttled = geo_system.run_recovery(4, weight_limit=1)
+    assert throttled.makespan > unlimited.makespan
+
+
+def test_lrc_striped_degraded_read_touches_local_parity(config, sizes):
+    """White-box: LRC's k+1-response rebuild reads the failed group's
+    local parity disk (§6.1)."""
+    from repro.cluster.rcstor import _Runtime
+    from repro.cluster import client_link
+    from repro.cluster.rcstor import DegradedReadResult
+
+    lrc = RCStor(config, StripeLayout(256 * 1024, 10), LRCCode(10, 2, 2))
+    lrc.ingest(sizes)
+    obj = next(o for o in lrc.catalog.objects if o.size > 32 * MB)
+    pg = lrc.cluster.pgs[obj.pg_id]
+    failed_role = 2  # data role in group 0 -> local parity at role 10
+    rt = _Runtime(lrc.config, 0)
+    result = DegradedReadResult(0.0, 0.0, 0.0, obj.size)
+    client = client_link(rt.env, 1.0)
+    done = rt.env.process(lrc._degraded_striped_proc(
+        rt, obj, failed_role, client, result))
+    rt.env.run(done)
+    local_parity_disk = rt.disks[pg.disk_ids[10]]
+    global_parity_disk = rt.disks[pg.disk_ids[10 + lrc.code.group_of(failed_role)]]
+    assert local_parity_disk.bytes_read > 0

@@ -1,0 +1,83 @@
+"""Cluster topology / placement-group tests."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=8)  # < k + r
+    with pytest.raises(ValueError):
+        ClusterConfig(disks_per_node=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_pgs=0)
+
+
+def test_config_defaults_match_paper():
+    c = ClusterConfig()
+    assert c.n_nodes == 16 and c.disks_per_node == 6
+    assert c.k == 10 and c.r == 4 and c.n == 14
+    assert c.n_disks == 96
+    assert c.recovery_global_weight == 512
+    assert c.recovery_weight_unit == 4 * (1 << 20)
+
+
+def test_node_of():
+    c = ClusterConfig()
+    assert c.node_of(0) == 0
+    assert c.node_of(5) == 0
+    assert c.node_of(6) == 1
+    assert c.node_of(95) == 15
+
+
+def test_pgs_have_distinct_nodes():
+    cluster = Cluster(ClusterConfig(n_pgs=200))
+    for pg in cluster.pgs:
+        assert len(pg.disk_ids) == 14
+        nodes = {cluster.config.node_of(d) for d in pg.disk_ids}
+        assert len(nodes) == 14
+
+
+def test_pg_membership_balanced():
+    config = ClusterConfig(n_pgs=480)
+    cluster = Cluster(config)
+    membership = Counter()
+    for pg in cluster.pgs:
+        membership.update(pg.disk_ids)
+    counts = [membership[d] for d in range(config.n_disks)]
+    expected = 480 * 14 / 96
+    assert min(counts) >= 0.7 * expected
+    assert max(counts) <= 1.3 * expected
+
+
+def test_roles_rotate_across_pgs():
+    """Each disk should play many different roles (Clay's 4 repair cases)."""
+    cluster = Cluster(ClusterConfig(n_pgs=480))
+    roles_of_disk0 = {pg.role_of(0) for pg in cluster.pgs_of_disk(0)}
+    assert len(roles_of_disk0) >= 8
+
+
+def test_pgs_of_disk_consistent():
+    cluster = Cluster(ClusterConfig(n_pgs=100))
+    for disk in (0, 50, 95):
+        for pg in cluster.pgs_of_disk(disk):
+            assert disk in pg
+
+
+def test_pg_construction_deterministic():
+    a = Cluster(ClusterConfig(n_pgs=50))
+    b = Cluster(ClusterConfig(n_pgs=50))
+    assert [pg.disk_ids for pg in a.pgs] == [pg.disk_ids for pg in b.pgs]
+    c = Cluster(ClusterConfig(n_pgs=50, pg_seed=7))
+    assert [pg.disk_ids for pg in a.pgs] != [pg.disk_ids for pg in c.pgs]
+
+
+def test_role_of_raises_for_non_member():
+    cluster = Cluster(ClusterConfig(n_pgs=4))
+    pg = cluster.pgs[0]
+    outsider = next(d for d in range(96) if d not in pg)
+    with pytest.raises(ValueError):
+        pg.role_of(outsider)

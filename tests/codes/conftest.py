@@ -1,0 +1,11 @@
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_data(rng, k, chunk_size):
+    return [rng.integers(0, 256, chunk_size, dtype=np.uint8) for _ in range(k)]

@@ -1,0 +1,66 @@
+"""Tests for the shared code abstractions (segments, plans, extraction)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import ReadSegment, RepairPlan, extract_reads
+
+
+def test_segment_validation():
+    with pytest.raises(ValueError):
+        ReadSegment(0, 0, 0)
+    with pytest.raises(ValueError):
+        ReadSegment(0, -1, 4)
+    with pytest.raises(ValueError):
+        ReadSegment(-1, 0, 4)
+
+
+def test_segment_end():
+    assert ReadSegment(0, 8, 4).end == 12
+
+
+def test_plan_rejects_reads_from_failed_node():
+    with pytest.raises(ValueError):
+        RepairPlan((1,), 16, [ReadSegment(1, 0, 8)])
+
+
+def test_plan_rejects_segment_beyond_chunk():
+    with pytest.raises(ValueError):
+        RepairPlan((0,), 16, [ReadSegment(1, 8, 16)])
+
+
+def test_plan_totals_and_per_node():
+    plan = RepairPlan((0,), 16, [
+        ReadSegment(1, 0, 4), ReadSegment(1, 8, 4), ReadSegment(2, 0, 16)])
+    assert plan.total_read_bytes == 24
+    assert plan.read_bytes_per_node() == {1: 8, 2: 16}
+    assert plan.helper_nodes == [1, 2]
+    assert plan.read_traffic_ratio() == 24 / 16
+
+
+def test_plan_coalesce_merges_adjacent():
+    plan = RepairPlan((0,), 16, [
+        ReadSegment(1, 0, 4), ReadSegment(1, 4, 4), ReadSegment(1, 12, 4)])
+    merged = plan.coalesced()
+    assert merged.segments_for_node(1) == [ReadSegment(1, 0, 8), ReadSegment(1, 12, 4)]
+    assert plan.io_count_per_node() == {1: 2}
+
+
+def test_plan_coalesce_handles_overlap():
+    plan = RepairPlan((0,), 16, [ReadSegment(1, 0, 8), ReadSegment(1, 4, 8)])
+    assert plan.io_count_per_node() == {1: 1}
+    assert plan.coalesced().segments_for_node(1) == [ReadSegment(1, 0, 12)]
+
+
+def test_extract_reads_concatenates_in_offset_order():
+    plan = RepairPlan((0,), 8, [ReadSegment(1, 6, 2), ReadSegment(1, 0, 2)])
+    chunks = {1: np.arange(8, dtype=np.uint8)}
+    reads = extract_reads(plan, chunks)
+    assert np.array_equal(reads[1], np.array([0, 1, 6, 7], dtype=np.uint8))
+
+
+def test_storage_overhead_formula():
+    from repro.codes import RSCode
+
+    assert RSCode(10, 4).storage_overhead == pytest.approx(1.4)
+    assert RSCode(10, 4).n == 14

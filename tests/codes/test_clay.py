@@ -1,0 +1,282 @@
+"""Clay code tests — construction, decode, optimal repair, Fig. 2 patterns."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import ClayCode, DecodeError, extract_reads
+from tests.codes.conftest import random_data
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ClayCode(4, 1)  # r >= 2 required
+    with pytest.raises(ValueError):
+        ClayCode(4, 2, gamma=1)
+    with pytest.raises(ValueError):
+        ClayCode(0, 2)
+
+
+def test_sub_packetization_clay_10_4():
+    """Table 1 / §2.2: Clay(10,4) has alpha=256, beta=64, d=13."""
+    code = ClayCode(10, 4)
+    assert code.alpha == 256
+    assert code.beta == 64
+    assert code.d == 13
+    assert code.q == 4 and code.t == 4
+    assert code.num_slots == 16  # two shortened (virtual) slots
+
+
+def test_small_code_geometry():
+    code = ClayCode(4, 2)
+    assert code.q == 2 and code.t == 3
+    assert code.alpha == 8 and code.beta == 4
+    assert code.num_slots == 6  # no virtual slots: n = q*t
+    assert not any(code.is_virtual(s) for s in range(6))
+
+
+def test_virtual_slots_clay_10_4():
+    code = ClayCode(10, 4)
+    assert code.is_virtual(14) and code.is_virtual(15)
+    assert not code.is_virtual(13)
+
+
+def test_slot_xy_roundtrip():
+    code = ClayCode(10, 4)
+    for s in range(code.num_slots):
+        x, y = code.slot_xy(s)
+        assert code.xy_slot(x, y) == s
+        assert 0 <= x < code.q and 0 <= y < code.t
+
+
+def test_companion_is_involution():
+    code = ClayCode(4, 2)
+    for slot in range(code.num_slots):
+        for z in code._layers:
+            comp = code.companion(slot, z)
+            if comp is None:
+                x, y = code.slot_xy(slot)
+                assert z[y] == x
+            else:
+                comp_slot, comp_z = comp
+                assert comp_slot != slot
+                back = code.companion(comp_slot, comp_z)
+                assert back == (slot, z)
+
+
+def test_chunk_size_must_divide_alpha():
+    code = ClayCode(4, 2)
+    with pytest.raises(ValueError):
+        code.repair_plan(0, 12)  # not a multiple of alpha=8
+
+
+def test_systematic_roundtrip(rng):
+    code = ClayCode(4, 2)
+    data = random_data(rng, 4, 32)
+    stripe = code.encode_stripe(data)
+    assert len(stripe) == 6
+    for i in range(4):
+        assert np.array_equal(stripe[i], data[i])
+
+
+def test_encode_is_linear(rng):
+    code = ClayCode(4, 2)
+    x = random_data(rng, 4, 16)
+    y = random_data(rng, 4, 16)
+    xy = [a ^ b for a, b in zip(x, y)]
+    for a, b, c in zip(code.encode(x), code.encode(y), code.encode(xy)):
+        assert np.array_equal(a ^ b, c)
+
+
+def test_decode_every_r_failure_combination(rng):
+    """MDS check: every r-subset of Clay(4,2) must decode."""
+    code = ClayCode(4, 2)
+    data = random_data(rng, 4, 16)
+    stripe = code.encode_stripe(data)
+    for erased in combinations(range(code.n), 2):
+        avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+        out = code.decode(avail, list(erased), 16)
+        for f in erased:
+            assert np.array_equal(out[f], stripe[f]), erased
+
+
+def test_decode_single_failures_clay_5_3(rng):
+    code = ClayCode(5, 3)  # q=3, t=3, one virtual slot
+    assert code.num_slots == 9 and code.n == 8
+    data = random_data(rng, 5, code.alpha)
+    stripe = code.encode_stripe(data)
+    for f in range(code.n):
+        avail = {i: c for i, c in enumerate(stripe) if i != f}
+        out = code.decode(avail, [f], code.alpha)
+        assert np.array_equal(out[f], stripe[f])
+
+
+def test_decode_triple_failures_clay_5_3(rng):
+    code = ClayCode(5, 3)
+    data = random_data(rng, 5, code.alpha)
+    stripe = code.encode_stripe(data)
+    for erased in [(0, 1, 2), (0, 4, 7), (5, 6, 7), (2, 3, 6)]:
+        avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+        out = code.decode(avail, list(erased), code.alpha)
+        for f in erased:
+            assert np.array_equal(out[f], stripe[f])
+
+
+def test_decode_rejects_too_many_erasures(rng):
+    code = ClayCode(4, 2)
+    with pytest.raises(DecodeError):
+        code.decode({}, [0, 1, 2], 8)
+
+
+def test_decode_requires_all_survivors(rng):
+    code = ClayCode(4, 2)
+    data = random_data(rng, 4, 8)
+    stripe = code.encode_stripe(data)
+    avail = {i: c for i, c in enumerate(stripe) if i not in (0, 3)}
+    with pytest.raises(DecodeError):
+        code.decode(avail, [0], 8)  # node 3 missing but not declared erased
+
+
+def test_repair_every_node_clay_4_2(rng):
+    code = ClayCode(4, 2)
+    data = random_data(rng, 4, 64)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in range(code.n):
+        plan = code.repair_plan(f, 64)
+        got = code.repair(f, extract_reads(plan, chunks), 64)
+        assert np.array_equal(got, stripe[f]), f"node {f}"
+
+
+def test_repair_every_node_clay_5_3_shortened(rng):
+    """Repair must also work with virtual (shortened) slots present."""
+    code = ClayCode(5, 3)
+    data = random_data(rng, 5, code.alpha)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in range(code.n):
+        plan = code.repair_plan(f, code.alpha)
+        got = code.repair(f, extract_reads(plan, chunks), code.alpha)
+        assert np.array_equal(got, stripe[f]), f"node {f}"
+
+
+def test_repair_traffic_is_optimal():
+    """MSR optimality: read beta from each of d = n-1 helpers (Table 1)."""
+    code = ClayCode(4, 2)
+    plan = code.repair_plan(0, 64)
+    assert plan.read_traffic_ratio() == pytest.approx((code.n - 1) / code.q)
+    per_node = plan.read_bytes_per_node()
+    assert len(per_node) == code.n - 1
+    assert all(v == 64 // code.q for v in per_node.values())
+
+
+def test_clay_10_4_read_traffic_matches_table1():
+    code = ClayCode(10, 4)
+    plan = code.repair_plan(0, 256)
+    assert plan.read_traffic_ratio() == pytest.approx(3.25)
+
+
+def test_fig2_fragmentation_cases():
+    """Figure 2: repairing a column-y node needs q**y discontinuous reads of
+    q**(t-1-y) sub-chunks on every helper — blocks of 64/16/4/1 for (10,4)."""
+    code = ClayCode(10, 4)
+    chunk = code.alpha  # 1-byte sub-chunks
+    expectations = {0: (1, 64), 5: (4, 16), 10: (16, 4), 13: (64, 1)}
+    for failed, (n_ios, run_len) in expectations.items():
+        plan = code.repair_plan(failed, chunk)
+        ios = plan.io_count_per_node()
+        assert all(v == n_ios for v in ios.values()), failed
+        helper = plan.helper_nodes[0]
+        seg = plan.coalesced().segments_for_node(helper)[0]
+        assert seg.length == run_len
+
+
+def test_repair_layers_have_fixed_digit():
+    code = ClayCode(10, 4)
+    failed = 5
+    x0, y0 = code.slot_xy(failed)
+    for zi in code.repair_layer_indices(failed):
+        assert code._layers[zi][y0] == x0
+    assert len(code.repair_layer_indices(failed)) == code.beta
+
+
+def test_repair_solution_cached():
+    code = ClayCode(4, 2)
+    first = code._repair_solution(1)
+    assert code._repair_solution(1) is first
+
+
+def test_gamma_choices_all_work(rng):
+    for gamma in (2, 3, 0x1D):
+        code = ClayCode(4, 2, gamma=gamma)
+        data = random_data(rng, 4, 16)
+        stripe = code.encode_stripe(data)
+        chunks = {i: c for i, c in enumerate(stripe)}
+        plan = code.repair_plan(2, 16)
+        got = code.repair(2, extract_reads(plan, chunks), 16)
+        assert np.array_equal(got, stripe[2])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_repair_roundtrip_clay_4_2(seed):
+    rng = np.random.default_rng(seed)
+    code = ClayCode(4, 2)
+    data = random_data(rng, 4, 16)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    f = int(rng.integers(0, code.n))
+    plan = code.repair_plan(f, 16)
+    got = code.repair(f, extract_reads(plan, chunks), 16)
+    assert np.array_equal(got, stripe[f])
+
+
+@pytest.mark.slow
+def test_clay_10_4_full_roundtrip(rng):
+    """End-to-end correctness at the paper's production parameters."""
+    code = ClayCode(10, 4)
+    chunk = code.alpha * 2
+    data = random_data(rng, 10, chunk)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in (0, 5, 10, 13):  # one per Figure 2 case
+        plan = code.repair_plan(f, chunk)
+        got = code.repair(f, extract_reads(plan, chunks), chunk)
+        assert np.array_equal(got, stripe[f])
+    erased = [1, 6, 11, 12]
+    avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+    out = code.decode(avail, erased, chunk)
+    for f in erased:
+        assert np.array_equal(out[f], stripe[f])
+
+
+def test_clay_8_4_t2_geometry(rng):
+    """q=4, t=2: a small-t construction with one virtual slot wide grid."""
+    code = ClayCode(8, 4)
+    assert code.q == 4 and code.t == 3  # ceil(12/4) = 3
+    assert code.alpha == 64 and code.beta == 16
+    data = random_data(rng, 8, code.alpha)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in (0, 5, 11):
+        plan = code.repair_plan(f, code.alpha)
+        got = code.repair(f, extract_reads(plan, chunks), code.alpha)
+        assert np.array_equal(got, stripe[f])
+        assert plan.read_traffic_ratio() == pytest.approx((code.n - 1) / 4)
+
+
+def test_clay_6_2_no_shortening(rng):
+    """q=2, t=4: n = q*t exactly, no virtual slots."""
+    code = ClayCode(6, 2)
+    assert code.num_slots == code.n == 8
+    assert code.alpha == 16
+    data = random_data(rng, 6, 32)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in range(code.n):
+        plan = code.repair_plan(f, 32)
+        got = code.repair(f, extract_reads(plan, chunks), 32)
+        assert np.array_equal(got, stripe[f])

@@ -1,0 +1,157 @@
+"""Properties every erasure code in the package must share."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    ClayCode,
+    HitchhikerCode,
+    LRCCode,
+    RSCode,
+    extract_reads,
+)
+
+ALL_CODES = [
+    pytest.param(lambda: RSCode(6, 3), 48, id="rs"),
+    pytest.param(lambda: LRCCode(6, 2, 2), 48, id="lrc"),
+    pytest.param(lambda: HitchhikerCode(6, 3), 48, id="hitchhiker"),
+    pytest.param(lambda: ClayCode(4, 2), 48, id="clay"),
+]
+
+
+def stripe_for(code, chunk_size, seed=0):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, chunk_size, dtype=np.uint8)
+            for _ in range(code.k)]
+    return data, code.encode_stripe(data)
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_systematic(make_code, chunk):
+    code = make_code()
+    data, stripe = stripe_for(code, chunk)
+    for i in range(code.k):
+        assert np.array_equal(stripe[i], data[i])
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_encode_deterministic(make_code, chunk):
+    code = make_code()
+    data, stripe_a = stripe_for(code, chunk, seed=3)
+    stripe_b = code.encode_stripe(data)
+    for a, b in zip(stripe_a, stripe_b):
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_linearity(make_code, chunk):
+    """encode(x ^ y) == encode(x) ^ encode(y) for all linear codes."""
+    code = make_code()
+    x, _ = stripe_for(code, chunk, seed=1)
+    y, _ = stripe_for(code, chunk, seed=2)
+    xy = [a ^ b for a, b in zip(x, y)]
+    for pa, pb, pc in zip(code.encode(x), code.encode(y), code.encode(xy)):
+        assert np.array_equal(pa ^ pb, pc)
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_zero_maps_to_zero(make_code, chunk):
+    code = make_code()
+    zeros = [np.zeros(chunk, dtype=np.uint8) for _ in range(code.k)]
+    for parity in code.encode(zeros):
+        assert not np.any(parity)
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_repair_agrees_with_decode(make_code, chunk):
+    """Single-failure repair and full decode must produce identical chunks."""
+    code = make_code()
+    _, stripe = stripe_for(code, chunk, seed=4)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for failed in range(code.n):
+        plan = code.repair_plan(failed, chunk)
+        reads = extract_reads(plan, chunks)
+        via_repair = code.repair(failed, reads, chunk)
+        available = {i: c for i, c in chunks.items() if i != failed}
+        via_decode = code.decode(available, [failed], chunk)[failed]
+        assert np.array_equal(via_repair, via_decode)
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_decode_after_reencode_roundtrip(make_code, chunk):
+    """Decoded chunks re-encode to exactly the original stripe."""
+    code = make_code()
+    data, stripe = stripe_for(code, chunk, seed=5)
+    erased = [0, code.k]  # one data, one parity
+    available = {i: c for i, c in enumerate(stripe) if i not in erased}
+    decoded = code.decode(available, erased, chunk)
+    restored = [decoded.get(i, stripe[i]) for i in range(code.k)]
+    for original, again in zip(stripe, code.encode_stripe(restored)):
+        assert np.array_equal(original, again)
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_repair_plan_reads_within_bounds(make_code, chunk):
+    code = make_code()
+    for failed in range(code.n):
+        plan = code.repair_plan(failed, chunk)
+        assert failed not in plan.helper_nodes
+        for seg in plan.segments:
+            assert 0 <= seg.offset and seg.end <= chunk
+        assert 0 < plan.total_read_bytes <= code.n * chunk
+
+
+@pytest.mark.parametrize("make_code,chunk", ALL_CODES)
+def test_repair_traffic_never_exceeds_rs(make_code, chunk):
+    """k full chunks is the worst case; every code must do no worse."""
+    code = make_code()
+    for failed in range(code.n):
+        assert code.repair_plan(failed, chunk).read_traffic_ratio() <= code.k
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.integers(min_value=0, max_value=3))
+def test_property_mds_codes_survive_any_r_erasures(seed, which):
+    makers = [lambda: RSCode(5, 2), lambda: HitchhikerCode(5, 2),
+              lambda: ClayCode(4, 2), lambda: ClayCode(5, 3)]
+    code = makers[which]()
+    if not code.is_mds:
+        return
+    rng = np.random.default_rng(seed)
+    chunk = 2 * code.alpha
+    data = [rng.integers(0, 256, chunk, dtype=np.uint8) for _ in range(code.k)]
+    stripe = code.encode_stripe(data)
+    erased = sorted(rng.permutation(code.n)[: code.r].tolist())
+    available = {i: c for i, c in enumerate(stripe) if i not in erased}
+    decoded = code.decode(available, erased, chunk)
+    for f in erased:
+        assert np.array_equal(decoded[f], stripe[f])
+
+
+def test_mds_codes_read_traffic_ordering():
+    """Table 1's ordering holds across chunk sizes: Clay < HH < RS."""
+    for chunk_mult in (1, 4, 16):
+        clay = ClayCode(10, 4)
+        hh = HitchhikerCode(10, 4)
+        rs = RSCode(10, 4)
+        c = clay.average_repair_read_ratio(clay.alpha * chunk_mult)
+        h = hh.average_repair_read_ratio(hh.alpha * chunk_mult * 128)
+        r = rs.average_repair_read_ratio(chunk_mult * 256)
+        assert c < h < r
+
+
+def test_all_codes_reject_short_reads():
+    """Repair with missing helper data must fail loudly, not silently."""
+    code = RSCode(4, 2)
+    _, stripe = stripe_for(code, 16)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    plan = code.repair_plan(0, 16)
+    reads = extract_reads(plan, chunks)
+    del reads[1]
+    with pytest.raises(KeyError):
+        code.repair(0, reads, 16)

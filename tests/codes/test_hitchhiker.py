@@ -1,0 +1,126 @@
+"""Hitchhiker-XOR tests — piggyback structure, MDS property, repair savings."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import HitchhikerCode, RSCode, extract_reads
+from tests.codes.conftest import random_data
+
+
+def test_requires_two_parities():
+    with pytest.raises(ValueError):
+        HitchhikerCode(4, 1)
+
+
+def test_group_partition_10_4():
+    code = HitchhikerCode(10, 4)
+    assert code.groups == [[0, 1, 2], [3, 4, 5], [6, 7, 8, 9]]
+    assert code.group_of(0) == 0
+    assert code.group_of(9) == 2
+    with pytest.raises(ValueError):
+        code.group_of(10)
+
+
+def test_alpha_is_two():
+    assert HitchhikerCode(10, 4).alpha == 2
+
+
+def test_chunk_size_must_be_even():
+    code = HitchhikerCode(4, 2)
+    with pytest.raises(ValueError):
+        code.repair_plan(0, 15)
+
+
+def test_first_parity_is_plain_rs(rng):
+    """Parity 1 carries no piggyback: it equals RS on both substripes."""
+    code = HitchhikerCode(6, 3)
+    rs = RSCode(6, 3)
+    data = random_data(rng, 6, 32)
+    a = [c[:16] for c in data]
+    b = [c[16:] for c in data]
+    parities = code.encode(data)
+    assert np.array_equal(parities[0][:16], rs.encode(a)[0])
+    assert np.array_equal(parities[0][16:], rs.encode(b)[0])
+
+
+def test_piggyback_content(rng):
+    """Parity j>=2's second half is f_j(b) xor the group's a sub-chunks."""
+    code = HitchhikerCode(6, 3)
+    rs = RSCode(6, 3)
+    data = random_data(rng, 6, 32)
+    a = [c[:16] for c in data]
+    b = [c[16:] for c in data]
+    parities = code.encode(data)
+    fb = rs.encode(b)
+    expected = fb[1].copy()
+    for member in code.groups[0]:
+        expected ^= a[member]
+    assert np.array_equal(parities[1][16:], expected)
+
+
+def test_decode_every_r_failure_combination(rng):
+    """Hitchhiker preserves the MDS property of its RS base code."""
+    code = HitchhikerCode(5, 3)
+    assert code.is_mds
+    data = random_data(rng, 5, 16)
+    stripe = code.encode_stripe(data)
+    for erased in combinations(range(code.n), 3):
+        avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+        out = code.decode(avail, list(erased), 16)
+        for f in erased:
+            assert np.array_equal(out[f], stripe[f])
+
+
+def test_repair_every_node(rng):
+    code = HitchhikerCode(10, 4)
+    data = random_data(rng, 10, 64)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in range(code.n):
+        plan = code.repair_plan(f, 64)
+        got = code.repair(f, extract_reads(plan, chunks), 64)
+        assert np.array_equal(got, stripe[f]), f"node {f}"
+
+
+def test_data_repair_traffic_is_about_65_percent():
+    """(10,4): group-of-3 node reads 13 half-chunks = 6.5 vs RS's 10."""
+    code = HitchhikerCode(10, 4)
+    plan = code.repair_plan(0, 64)
+    assert plan.read_traffic_ratio() == pytest.approx(6.5)
+    plan9 = code.repair_plan(9, 64)  # group of 4
+    assert plan9.read_traffic_ratio() == pytest.approx(7.0)
+
+
+def test_parity_repair_is_full_cost():
+    code = HitchhikerCode(10, 4)
+    for f in range(10, 14):
+        assert code.repair_plan(f, 64).read_traffic_ratio() == pytest.approx(10.0)
+
+
+def test_average_ratio_between_clay_and_rs():
+    """Non-optimal regenerating code: better than RS, worse than MSR."""
+    code = HitchhikerCode(10, 4)
+    avg = code.average_repair_read_ratio(64)
+    assert 3.25 < avg < 10.0
+    assert avg == pytest.approx(107 / 14)
+
+
+def test_data_repair_reads_only_planned_nodes():
+    code = HitchhikerCode(10, 4)
+    plan = code.repair_plan(4, 64)  # group 1 = {3,4,5}
+    per_node = plan.read_bytes_per_node()
+    # Group members contribute a full chunk (both halves); others a half.
+    assert per_node[3] == 64 and per_node[5] == 64
+    assert per_node[0] == 32
+    assert per_node[10] == 32  # f_1(b)
+    assert per_node[12] == 32  # piggybacked parity (group 1 -> parity 3)
+    assert 11 not in per_node and 13 not in per_node
+
+
+def test_uneven_group_sizes():
+    code = HitchhikerCode(7, 3)
+    sizes = sorted(len(g) for g in code.groups)
+    assert sizes == [3, 4]
+    assert sorted(sum(code.groups, [])) == list(range(7))

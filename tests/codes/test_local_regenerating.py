@@ -1,0 +1,137 @@
+"""Tests for local regeneration (LRC-over-Clay, the paper's §8 direction)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import ClayCode, extract_reads
+from repro.codes.local_regenerating import LocalRegeneratingCode
+from repro.codes.base import DecodeError
+from tests.codes.conftest import random_data
+
+
+@pytest.fixture(scope="module")
+def code():
+    # 8 data in 2 groups of 4, Clay(4,2) locals, 2 RS globals: n = 14.
+    return LocalRegeneratingCode(k=8, l=2, local_r=2, g=2)
+
+
+@pytest.fixture(scope="module")
+def stripe(code):
+    rng = np.random.default_rng(11)
+    chunk = code.alpha * 2
+    data = [rng.integers(0, 256, chunk, dtype=np.uint8) for _ in range(code.k)]
+    return chunk, data, code.encode_stripe(data)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        LocalRegeneratingCode(7, 2, 2, 2)  # 7 not divisible by 2
+    with pytest.raises(ValueError):
+        LocalRegeneratingCode(8, 2, 1, 2)  # local_r must be >= 2
+
+
+def test_geometry(code):
+    assert code.n == 14
+    assert code.group_of(0) == 0 and code.group_of(7) == 1
+    assert code.group_of(8) == 0 and code.group_of(11) == 1  # local parities
+    assert code.group_of(12) is None  # global
+    assert code.group_nodes(0) == [0, 1, 2, 3, 8, 9]
+    assert not code.is_mds
+    assert "LocalClay" in code.name
+
+
+def test_systematic(code, stripe):
+    chunk, data, full = stripe
+    for i in range(code.k):
+        assert np.array_equal(full[i], data[i])
+    assert len(full) == code.n
+
+
+def test_single_repair_stays_in_group(code, stripe):
+    """The §8 win: one failure reads only its 5 group peers, at MSR traffic."""
+    chunk, _data, full = stripe
+    plan = code.repair_plan(2, chunk)
+    assert set(plan.helper_nodes) <= set(code.group_nodes(0))
+    assert len(plan.helper_nodes) == 5
+    # Clay(4,2) inside the group: reads (6-1)/2 = 2.5x the lost chunk.
+    assert plan.read_traffic_ratio() == pytest.approx(2.5)
+
+
+def test_repair_every_node(code, stripe):
+    chunk, _data, full = stripe
+    chunks = {i: c for i, c in enumerate(full)}
+    for failed in range(code.n):
+        plan = code.repair_plan(failed, chunk)
+        got = code.repair(failed, extract_reads(plan, chunks), chunk)
+        assert np.array_equal(got, full[failed]), failed
+
+
+def test_locality_beats_flat_clay(code):
+    """Average single-failure traffic and helper count beat Clay(10,4)-style
+    flat codes — the cross-datacenter argument of §8."""
+    chunk = code.alpha
+    flat = ClayCode(code.k, 2)
+    local_ratio = np.mean([code.repair_plan(f, chunk).read_traffic_ratio()
+                           for f in range(code.k)])
+    local_helpers = max(len(code.repair_plan(f, chunk).helper_nodes)
+                        for f in range(code.k))
+    flat_helpers = len(flat.repair_plan(0, flat.alpha).helper_nodes)
+    assert local_helpers < flat_helpers
+    assert local_ratio < code.k  # far below RS
+
+
+def test_decode_local_failures_per_group(code, stripe):
+    chunk, _data, full = stripe
+    erased = [0, 8, 5, 11]  # <= local_r per group (data + local parities)
+    avail = {i: c for i, c in enumerate(full) if i not in erased}
+    out = code.decode(avail, erased, chunk)
+    for f in erased:
+        assert np.array_equal(out[f], full[f])
+
+
+def test_decode_beyond_locals_uses_globals(code, stripe):
+    """Three losses in one group exceed its locals; the globals cover the
+    lost data and the local parities are re-encoded."""
+    chunk, _data, full = stripe
+    erased = [0, 1, 8]  # 3 group-0 members, of which 2 are data (<= g)
+    avail = {i: c for i, c in enumerate(full) if i not in erased}
+    out = code.decode(avail, erased, chunk)
+    for f in erased:
+        assert np.array_equal(out[f], full[f])
+
+
+def test_decode_lost_global_parities(code, stripe):
+    chunk, _data, full = stripe
+    erased = [12, 13]
+    avail = {i: c for i, c in enumerate(full) if i not in erased}
+    out = code.decode(avail, erased, chunk)
+    for f in erased:
+        assert np.array_equal(out[f], full[f])
+
+
+def test_decode_unrecoverable_raises(code, stripe):
+    chunk, _data, full = stripe
+    erased = [0, 1, 2, 3, 8]  # whole group 0 data + a local: > locals + globals
+    avail = {i: c for i, c in enumerate(full) if i not in erased}
+    with pytest.raises(DecodeError):
+        code.decode(avail, erased, chunk)
+
+
+def test_no_globals_variant():
+    code = LocalRegeneratingCode(k=4, l=1, local_r=2, g=0)
+    rng = np.random.default_rng(3)
+    chunk = code.alpha
+    data = random_data(rng, 4, chunk)
+    stripe = code.encode_stripe(data)
+    assert len(stripe) == 6
+    avail = {i: c for i, c in enumerate(stripe) if i != 1}
+    out = code.decode(avail, [1], chunk)
+    assert np.array_equal(out[1], stripe[1])
+    with pytest.raises(DecodeError):
+        code.decode({i: c for i, c in enumerate(stripe) if i > 2},
+                    [0, 1, 2], chunk)
+
+
+def test_storage_overhead(code):
+    # 14 nodes / 8 data = 1.75 (locality costs storage vs 1.4 for (10,4)).
+    assert code.storage_overhead == pytest.approx(14 / 8)

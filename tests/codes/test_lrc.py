@@ -1,0 +1,138 @@
+"""LRC tests — locality, Table 1 read traffic, and non-MDS behaviour."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodeError, LRCCode, RSCode, extract_reads
+from tests.codes.conftest import random_data
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        LRCCode(10, 3, 2)  # 10 not divisible into 3 groups
+    with pytest.raises(ValueError):
+        LRCCode(0, 1, 1)
+
+
+def test_structure_of_lrc_10_2_2():
+    code = LRCCode(10, 2, 2)
+    assert code.n == 14
+    assert code.group_size == 5
+    assert code.group_of(0) == 0
+    assert code.group_of(7) == 1
+    assert code.group_of(10) == 0  # local parity of group 0
+    assert code.group_of(11) == 1
+    assert code.group_of(12) is None  # global parity
+    assert code.group_members(0) == [0, 1, 2, 3, 4, 10]
+
+
+def test_local_parity_is_group_xor(rng):
+    code = LRCCode(10, 2, 2)
+    data = random_data(rng, 10, 16)
+    parities = code.encode(data)
+    group0_xor = np.zeros(16, dtype=np.uint8)
+    for i in range(5):
+        group0_xor ^= data[i]
+    assert np.array_equal(parities[0], group0_xor)
+
+
+def test_storage_matches_table1():
+    assert LRCCode(10, 2, 2).storage_overhead == pytest.approx(1.4)
+
+
+def test_read_traffic_matches_table1():
+    """(12 nodes * 5 reads + 2 globals * 10 reads) / 14 = 5.71 (Table 1)."""
+    code = LRCCode(10, 2, 2)
+    assert code.average_repair_read_ratio(64) == pytest.approx(80 / 14, abs=1e-6)
+
+
+def test_data_repair_reads_only_group():
+    code = LRCCode(10, 2, 2)
+    plan = code.repair_plan(3, 64)
+    assert plan.helper_nodes == [0, 1, 2, 4, 10]
+    assert plan.total_read_bytes == 5 * 64
+
+
+def test_global_parity_repair_reads_all_data():
+    code = LRCCode(10, 2, 2)
+    plan = code.repair_plan(13, 64)
+    assert plan.helper_nodes == list(range(10))
+
+
+def test_repair_every_node(rng):
+    code = LRCCode(10, 2, 2)
+    data = random_data(rng, 10, 32)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in range(code.n):
+        plan = code.repair_plan(f, 32)
+        got = code.repair(f, extract_reads(plan, chunks), 32)
+        assert np.array_equal(got, stripe[f])
+
+
+def test_decode_all_triple_failures(rng):
+    """Every pattern of <= g+1 = 3 failures must be recoverable."""
+    code = LRCCode(6, 2, 2)
+    data = random_data(rng, 6, 8)
+    stripe = code.encode_stripe(data)
+    for erased in combinations(range(code.n), 3):
+        if not code.decodable(erased):
+            pytest.fail(f"triple failure {erased} should be decodable")
+        avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+        out = code.decode(avail, list(erased), 8)
+        for f in erased:
+            assert np.array_equal(out[f], stripe[f])
+
+
+def test_not_mds_some_quadruple_fails():
+    """Four failures inside one local group are unrecoverable (paper §2.2)."""
+    code = LRCCode(10, 2, 2)
+    assert not code.is_mds
+    assert not code.decodable([0, 1, 2, 3])
+
+
+def test_most_quadruples_recoverable(rng):
+    """The code is not MDS but recovers the information-theoretically
+    recoverable share of 4-failure patterns (the vast majority)."""
+    code = LRCCode(10, 2, 2)
+    total = recoverable = 0
+    for erased in combinations(range(code.n), 4):
+        total += 1
+        recoverable += code.decodable(erased)
+    assert 0.7 < recoverable / total < 1.0
+
+
+def test_recoverable_quadruple_decodes(rng):
+    code = LRCCode(10, 2, 2)
+    data = random_data(rng, 10, 8)
+    stripe = code.encode_stripe(data)
+    erased = [0, 1, 5, 6]  # two per group: recoverable with globals
+    assert code.decodable(erased)
+    avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+    out = code.decode(avail, erased, 8)
+    for f in erased:
+        assert np.array_equal(out[f], stripe[f])
+
+
+def test_unrecoverable_pattern_raises(rng):
+    code = LRCCode(10, 2, 2)
+    data = random_data(rng, 10, 8)
+    stripe = code.encode_stripe(data)
+    erased = [0, 1, 2, 3]
+    avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+    with pytest.raises(DecodeError):
+        code.decode(avail, erased, 8)
+
+
+def test_globals_agree_with_rs_structure(rng):
+    """Global parities use the same Cauchy rows as our RS code, so an
+    LRC stripe's globals equal RS(k, g) parities of the same data."""
+    lrc = LRCCode(10, 2, 2)
+    rs = RSCode(10, 2)
+    data = random_data(rng, 10, 16)
+    lrc_parities = lrc.encode(data)
+    rs_parities = rs.encode(data)
+    assert np.array_equal(lrc_parities[2], rs_parities[0])
+    assert np.array_equal(lrc_parities[3], rs_parities[1])

@@ -1,0 +1,128 @@
+"""Product-matrix MBR tests: the minimum-bandwidth corner of the trade-off."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import DecodeError
+from repro.codes.product_matrix import ProductMatrixMBR
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def make_data(rng, code, length=4):
+    return rng.integers(0, 256, code.B * length, dtype=np.uint8)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ProductMatrixMBR(5, 4, 3)  # d < k
+    with pytest.raises(ValueError):
+        ProductMatrixMBR(5, 2, 5)  # d > n-1
+    with pytest.raises(ValueError):
+        ProductMatrixMBR(300, 2)
+
+
+def test_message_size_formula():
+    code = ProductMatrixMBR(6, 3, 4)
+    assert code.B == 3 * 4 - 3  # kd - k(k-1)/2
+    assert code.alpha == 4 and code.beta == 1
+
+
+def test_storage_overhead_exceeds_mds():
+    """MBR pays extra storage for minimum repair bandwidth."""
+    code = ProductMatrixMBR(10, 5, 9)
+    assert code.storage_overhead > 10 / 5 * 0.99
+    assert code.storage_overhead == pytest.approx(10 * 9 / code.B)
+
+
+def test_data_length_validation(rng):
+    code = ProductMatrixMBR(5, 3, 4)
+    with pytest.raises(ValueError):
+        code.encode(np.zeros(code.B + 1, dtype=np.uint8))
+
+
+def test_encode_decode_roundtrip_any_k_subset(rng):
+    code = ProductMatrixMBR(6, 3, 4)
+    data = make_data(rng, code)
+    chunks = code.encode(data)
+    assert len(chunks) == 6
+    assert all(c.size == code.alpha * 4 for c in chunks)
+    for nodes in combinations(range(6), 3):
+        got = code.decode({i: chunks[i] for i in nodes})
+        assert np.array_equal(got, data), nodes
+
+
+def test_decode_needs_k_chunks(rng):
+    code = ProductMatrixMBR(6, 3, 4)
+    data = make_data(rng, code)
+    chunks = code.encode(data)
+    with pytest.raises(DecodeError):
+        code.decode({0: chunks[0], 1: chunks[1]})
+
+
+def test_repair_every_node_from_every_helper_set(rng):
+    code = ProductMatrixMBR(6, 3, 4)
+    data = make_data(rng, code)
+    chunks = code.encode(data)
+    for failed in range(6):
+        survivors = [i for i in range(6) if i != failed]
+        for helpers in combinations(survivors, code.d):
+            symbols = {h: code.helper_symbol(h, failed, chunks[h])
+                       for h in helpers}
+            got = code.repair(failed, symbols)
+            assert np.array_equal(got, chunks[failed]), (failed, helpers)
+
+
+def test_repair_bandwidth_is_exactly_alpha():
+    """Repair-by-transfer: d helpers x beta=1 symbols = the lost alpha."""
+    code = ProductMatrixMBR(10, 5, 9)
+    assert code.repair_traffic_symbols == code.alpha
+
+
+def test_repair_validation(rng):
+    code = ProductMatrixMBR(5, 2, 3)
+    data = make_data(rng, code)
+    chunks = code.encode(data)
+    symbols = {h: code.helper_symbol(h, 0, chunks[h]) for h in (1, 2)}
+    with pytest.raises(DecodeError):
+        code.repair(0, symbols)  # only 2 of d=3 helpers
+    bad = {h: code.helper_symbol(h, 0, chunks[h]) for h in (0, 1, 2)}
+    with pytest.raises(DecodeError):
+        code.repair(0, bad)  # failed node among helpers
+
+
+def test_d_equals_k_degenerate(rng):
+    code = ProductMatrixMBR(5, 3, 3)  # no T block
+    data = make_data(rng, code)
+    chunks = code.encode(data)
+    got = code.decode({0: chunks[0], 2: chunks[2], 4: chunks[4]})
+    assert np.array_equal(got, data)
+
+
+def test_name():
+    assert ProductMatrixMBR(10, 5, 9).name == "PM-MBR(10,5,9)"
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_roundtrip_and_repair(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 9))
+    k = int(rng.integers(1, n - 1))
+    d = int(rng.integers(k, n))
+    code = ProductMatrixMBR(n, k, d)
+    data = make_data(rng, code, length=2)
+    chunks = code.encode(data)
+    nodes = rng.permutation(n)[:k]
+    assert np.array_equal(code.decode({int(i): chunks[i] for i in nodes}), data)
+    failed = int(rng.integers(0, n))
+    helpers = [i for i in range(n) if i != failed][:d]
+    symbols = {h: code.helper_symbol(h, failed, chunks[h]) for h in helpers}
+    assert np.array_equal(code.repair(failed, symbols), chunks[failed])

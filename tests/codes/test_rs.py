@@ -1,0 +1,140 @@
+"""Reed-Solomon code tests."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import DecodeError, RSCode, extract_reads
+from tests.codes.conftest import random_data
+
+
+def test_parameters_validated():
+    with pytest.raises(ValueError):
+        RSCode(0, 4)
+    with pytest.raises(ValueError):
+        RSCode(4, 0)
+
+
+def test_systematic_encode(rng):
+    code = RSCode(4, 2)
+    data = random_data(rng, 4, 32)
+    stripe = code.encode_stripe(data)
+    assert len(stripe) == 6
+    for i in range(4):
+        assert np.array_equal(stripe[i], data[i])
+
+
+def test_encode_rejects_wrong_count(rng):
+    code = RSCode(4, 2)
+    with pytest.raises(ValueError):
+        code.encode(random_data(rng, 3, 16))
+
+
+def test_encode_rejects_mismatched_chunks(rng):
+    code = RSCode(3, 2)
+    data = random_data(rng, 3, 16)
+    data[1] = data[1][:8]
+    with pytest.raises(ValueError):
+        code.encode(data)
+
+
+def test_decode_all_single_erasures(rng):
+    code = RSCode(6, 3)
+    data = random_data(rng, 6, 16)
+    stripe = code.encode_stripe(data)
+    for f in range(code.n):
+        avail = {i: c for i, c in enumerate(stripe) if i != f}
+        out = code.decode(avail, [f], 16)
+        assert np.array_equal(out[f], stripe[f])
+
+
+def test_decode_every_r_failure_combination(rng):
+    """The MDS property: every r-subset of erasures must decode (Table 1)."""
+    code = RSCode(5, 3)
+    data = random_data(rng, 5, 8)
+    stripe = code.encode_stripe(data)
+    for erased in combinations(range(code.n), 3):
+        avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+        out = code.decode(avail, list(erased), 8)
+        for f in erased:
+            assert np.array_equal(out[f], stripe[f])
+
+
+def test_decode_too_many_erasures_fails(rng):
+    code = RSCode(4, 2)
+    data = random_data(rng, 4, 8)
+    stripe = code.encode_stripe(data)
+    erased = [0, 1, 2]
+    avail = {i: c for i, c in enumerate(stripe) if i not in erased}
+    with pytest.raises(DecodeError):
+        code.decode(avail, erased, 8)
+
+
+def test_repair_plan_reads_k_full_chunks():
+    code = RSCode(10, 4)
+    plan = code.repair_plan(0, 1024)
+    assert len(plan.helper_nodes) == 10
+    assert plan.total_read_bytes == 10 * 1024
+    assert plan.read_traffic_ratio() == 10.0  # Table 1
+
+
+def test_repair_plan_rejects_bad_node():
+    with pytest.raises(ValueError):
+        RSCode(4, 2).repair_plan(6, 16)
+
+
+def test_repair_every_node(rng):
+    code = RSCode(6, 2)
+    data = random_data(rng, 6, 24)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    for f in range(code.n):
+        plan = code.repair_plan(f, 24)
+        got = code.repair(f, extract_reads(plan, chunks), 24)
+        assert np.array_equal(got, stripe[f])
+
+
+def test_average_read_ratio_is_k():
+    assert RSCode(10, 4).average_repair_read_ratio(64) == pytest.approx(10.0)
+
+
+def test_is_mds_flag():
+    assert RSCode(10, 4).is_mds
+
+
+def test_zero_data_encodes_to_zero_parity():
+    code = RSCode(4, 2)
+    data = [np.zeros(16, dtype=np.uint8) for _ in range(4)]
+    for parity in code.encode(data):
+        assert not np.any(parity)
+
+
+def test_encode_is_linear(rng):
+    """encode(x ^ y) == encode(x) ^ encode(y) — linearity of the code."""
+    code = RSCode(4, 2)
+    x = random_data(rng, 4, 16)
+    y = random_data(rng, 4, 16)
+    xy = [a ^ b for a, b in zip(x, y)]
+    px = code.encode(x)
+    py = code.encode(y)
+    pxy = code.encode(xy)
+    for a, b, c in zip(px, py, pxy):
+        assert np.array_equal(a ^ b, c)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_single_repair_roundtrip(k, r, seed):
+    rng = np.random.default_rng(seed)
+    code = RSCode(k, r)
+    data = random_data(rng, k, 8)
+    stripe = code.encode_stripe(data)
+    chunks = {i: c for i, c in enumerate(stripe)}
+    f = int(rng.integers(0, code.n))
+    plan = code.repair_plan(f, 8)
+    got = code.repair(f, extract_reads(plan, chunks), 8)
+    assert np.array_equal(got, stripe[f])

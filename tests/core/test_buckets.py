@@ -1,0 +1,56 @@
+"""Bucket bookkeeping tests."""
+
+import pytest
+
+from repro.core import Bucket, SmallSizeBucket
+
+MB = 1 << 20
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        Bucket(level=0, chunk_size=4 * MB)
+    with pytest.raises(ValueError):
+        Bucket(level=1, chunk_size=0)
+
+
+def test_bucket_append_aligns_slots():
+    b = Bucket(level=1, chunk_size=4 * MB)
+    s1 = b.append(object_id=7, chunk_index=0)
+    s2 = b.append(object_id=8, chunk_index=2)
+    assert s1.offset == 0 and s1.length == 4 * MB
+    assert s2.offset == 4 * MB
+    assert b.size_bytes == 8 * MB
+    assert b.n_chunks == 2
+
+
+def test_bucket_locate():
+    b = Bucket(level=2, chunk_size=8 * MB)
+    b.append(1, 0)
+    slot = b.append(2, 3)
+    assert b.locate(2, 3) == slot
+    with pytest.raises(KeyError):
+        b.locate(2, 4)
+
+
+def test_small_bucket_variable_sizes():
+    s = SmallSizeBucket()
+    a = s.append(1, 100)
+    b = s.append(2, 4096)
+    assert a.offset == 0 and b.offset == 100
+    assert s.size_bytes == 4196
+    assert s.n_items == 2
+
+
+def test_small_bucket_rejects_empty_item():
+    with pytest.raises(ValueError):
+        SmallSizeBucket().append(1, 0)
+
+
+def test_small_bucket_locate():
+    s = SmallSizeBucket()
+    s.append(1, 10)
+    slot = s.append(9, 20)
+    assert s.locate(9) == slot
+    with pytest.raises(KeyError):
+        s.locate(3)

@@ -1,0 +1,75 @@
+"""Tests for the greedy partitioning foil and the front-cut ablation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layouts import GeometricLayout, REGENERATING_KIND, RS_KIND
+from repro.core.partitioning import GeometricPartitioner, greedy_partition
+
+MB = 1 << 20
+
+
+def test_greedy_produces_unbounded_adjacent_ratio():
+    """§4.3's motivating failure: 20 MB -> 16 + 4 under greedy."""
+    part = greedy_partition(20 * MB, 4 * MB, 2)
+    assert part.counts == (1, 0, 1)
+    assert [c.size for c in part.chunks()] == [4 * MB, 16 * MB]
+    assert part.max_adjacent_ratio == 4.0
+    two_pass = GeometricPartitioner(4 * MB, 2).partition(20 * MB)
+    assert two_pass.max_adjacent_ratio <= 2.0
+
+
+def test_greedy_covers_object():
+    part = greedy_partition(int(73.5 * MB), 4 * MB, 2)
+    assert part.front + sum(c.size for c in part.chunks()) == int(73.5 * MB)
+
+
+def test_greedy_fewer_chunks_than_two_pass():
+    """Greedy maximises chunk sizes (fewer chunks) — its only advantage."""
+    two_pass = GeometricPartitioner(4 * MB, 2).partition(300 * MB)
+    greedy = greedy_partition(300 * MB, 4 * MB, 2)
+    assert greedy.n_chunks <= two_pass.n_chunks
+
+
+def test_greedy_respects_cap():
+    part = greedy_partition(1000 * MB, 4 * MB, 2, max_chunk_size=64 * MB)
+    assert max(c.size for c in part.chunks()) <= 64 * MB
+
+
+def test_greedy_q1():
+    part = greedy_partition(20 * MB, 4 * MB, 1)
+    assert all(c.size == 4 * MB for c in part.chunks())
+
+
+def test_greedy_validation():
+    with pytest.raises(ValueError):
+        greedy_partition(-1, 4 * MB)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=int(4e9)))
+def test_property_greedy_covers_and_bounds_front(size):
+    part = greedy_partition(size, 4 * MB, 2, max_chunk_size=256 * MB)
+    assert part.front + sum(c.size for c in part.chunks()) == size
+    assert part.front < 4 * MB or size < 4 * MB
+
+
+# ----------------------------------------------------------------------
+# Front-cut ablation layout
+# ----------------------------------------------------------------------
+def test_no_front_cut_pads_into_regenerating_chunk():
+    layout = GeometricLayout(4 * MB, 2, front_cut=False)
+    placement = layout.place(int(5.5 * MB))
+    kinds = [c.code_kind for c in placement.chunks]
+    assert RS_KIND not in kinds
+    front = placement.chunks[0]
+    assert front.data_bytes == int(1.5 * MB)
+    assert front.stored_bytes == 4 * MB  # padded: read amplification
+    assert placement.read_amplification > 1.0
+    assert layout.name.endswith("-nocut")
+
+
+def test_front_cut_default_has_no_amplification():
+    layout = GeometricLayout(4 * MB, 2)
+    assert layout.place(int(5.5 * MB)).read_amplification == pytest.approx(1.0)

@@ -1,0 +1,175 @@
+"""Tests for Algorithm 1 (the two-pass geometric scan)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeometricPartitioner
+
+MB = 1 << 20
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        GeometricPartitioner(0)
+    with pytest.raises(ValueError):
+        GeometricPartitioner(4 * MB, q=0)
+    with pytest.raises(ValueError):
+        GeometricPartitioner(4 * MB, max_chunk_size=MB)
+
+
+def test_q_of_one_is_constant_sequence():
+    """q=1 (Figure 14's leftmost point) degenerates to fixed-size chunks."""
+    p = GeometricPartitioner(4 * MB, q=1)
+    part = p.partition(21 * MB)
+    assert part.front == MB
+    assert all(c.size == 4 * MB for c in part.chunks())
+    assert part.n_chunks == 5
+    capped = GeometricPartitioner(4 * MB, q=1, max_chunk_size=256 * MB)
+    assert capped.max_level == 1
+    assert capped.partition(21 * MB).n_chunks == 5
+
+
+def test_paper_worked_example():
+    """§4.3: 73.5 MB = 1.5 MB + 2x4 MB + 2x8 MB + 16 MB + 32 MB."""
+    p = GeometricPartitioner(4 * MB, 2)
+    part = p.partition(int(73.5 * MB))
+    assert part.front == int(1.5 * MB)
+    assert part.counts == (2, 2, 1, 1)
+
+
+def test_paper_32mb_example():
+    """§4.2: a 32 MB object becomes 4+4+8+16 MB."""
+    p = GeometricPartitioner(4 * MB, 2)
+    part = p.partition(32 * MB)
+    assert part.front == 0
+    assert part.counts == (2, 1, 1)
+    assert [c.size for c in part.chunks()] == [4 * MB, 4 * MB, 8 * MB, 16 * MB]
+
+
+def test_small_object_goes_entirely_to_front():
+    p = GeometricPartitioner(4 * MB, 2)
+    part = p.partition(3 * MB)
+    assert part.front == 3 * MB
+    assert part.counts == ()
+    assert part.n_chunks == 0
+    assert part.chunks() == []
+
+
+def test_zero_size_object():
+    part = GeometricPartitioner(4 * MB).partition(0)
+    assert part.front == 0 and part.counts == ()
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        GeometricPartitioner(4 * MB).partition(-1)
+
+
+def test_front_is_size_mod_s0():
+    """§4: R = S mod s0 whenever the object reaches level 1."""
+    p = GeometricPartitioner(4 * MB, 2)
+    for size in (5 * MB, 17 * MB, 100 * MB + 12345, 4 * MB):
+        assert p.partition(size).front == size % (4 * MB)
+
+
+def test_all_coefficients_nonzero():
+    """The 2-pass scan guarantees a_i >= 1 for every used level (§4.3)."""
+    p = GeometricPartitioner(4 * MB, 2)
+    for size in (20 * MB, 73 * MB, 999 * MB, 4096 * MB):
+        part = p.partition(size)
+        assert all(a >= 1 for a in part.counts)
+
+
+def test_20mb_avoids_4_plus_16_split():
+    """§4.3's motivating case: 20 MB must not become 4+16 (bad pipelining);
+    the two-pass scan yields 4+8+8 with adjacent ratio <= q."""
+    part = GeometricPartitioner(4 * MB, 2).partition(20 * MB)
+    assert part.counts == (1, 2)
+    assert part.max_adjacent_ratio <= 2
+
+
+def test_chunk_count_logarithmic():
+    """Chunks grow like log(size), not linearly (§4.2)."""
+    p = GeometricPartitioner(4 * MB, 2)
+    small = p.partition(64 * MB).n_chunks
+    large = p.partition(4096 * MB).n_chunks
+    assert large <= small + 7  # 64x the size, ~6 doublings
+
+
+def test_chunks_ascending_and_contiguous():
+    part = GeometricPartitioner(4 * MB, 2).partition(int(73.5 * MB))
+    chunks = part.chunks()
+    offsets = [c.offset for c in chunks]
+    assert offsets[0] == part.front
+    for a, b in zip(chunks, chunks[1:]):
+        assert b.offset == a.offset + a.size
+        assert b.size >= a.size
+    assert chunks[-1].offset + chunks[-1].size == part.object_size
+
+
+def test_adjacent_ratio_bounded_by_q():
+    for q in (2, 3, 4):
+        p = GeometricPartitioner(MB, q)
+        for size in (10 * MB, 100 * MB, 1000 * MB):
+            part = p.partition(size)
+            assert part.max_adjacent_ratio <= q
+
+
+def test_max_chunk_size_cap():
+    """RCStor never allocates chunks above 256 MB (§5.2)."""
+    p = GeometricPartitioner(4 * MB, 2, max_chunk_size=256 * MB)
+    part = p.partition(4096 * MB)
+    sizes = {c.size for c in part.chunks()}
+    assert max(sizes) == 256 * MB
+    assert part.counts[-1] > 1  # top level absorbs the overflow
+
+
+def test_max_level_property():
+    p = GeometricPartitioner(4 * MB, 2, max_chunk_size=256 * MB)
+    assert p.max_level == 7  # 4,8,16,32,64,128,256
+    assert GeometricPartitioner(4 * MB, 2).max_level is None
+
+
+def test_level_size():
+    p = GeometricPartitioner(4 * MB, 2)
+    assert p.level_size(1) == 4 * MB
+    assert p.level_size(4) == 32 * MB
+
+
+def test_average_chunk_size():
+    part = GeometricPartitioner(4 * MB, 2).partition(32 * MB)
+    assert part.average_chunk_size == pytest.approx(8 * MB)
+    empty = GeometricPartitioner(4 * MB, 2).partition(MB)
+    assert empty.average_chunk_size == 0.0
+
+
+def test_partition_integrity_validated():
+    from repro.core import Partition
+
+    with pytest.raises(ValueError):
+        Partition(object_size=10, s0=4, q=2, front=1, counts=(1,))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=int(8e9)),
+       st.sampled_from([1 * MB, 4 * MB, 16 * MB, 128 * 1024]),
+       st.integers(min_value=2, max_value=4))
+def test_property_partition_invariants(size, s0, q):
+    """Coverage, front bound, non-zero coefficients, geometric sizes."""
+    part = GeometricPartitioner(s0, q).partition(size)
+    assert part.front + sum(a * s0 * q ** i for i, a in enumerate(part.counts)) == size
+    assert 0 <= part.front < s0 or (size < s0 and part.front == size)
+    assert all(a >= 1 for a in part.counts)
+    for i, chunk in enumerate(part.chunks()):
+        assert chunk.size == s0 * q ** (chunk.level - 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=int(8e9)))
+def test_property_capped_partition_covers(size):
+    MB_ = 1 << 20
+    part = GeometricPartitioner(4 * MB_, 2, max_chunk_size=64 * MB_).partition(size)
+    total = part.front + sum(c.size for c in part.chunks())
+    assert total == size
+    assert all(c.size <= 64 * MB_ for c in part.chunks())

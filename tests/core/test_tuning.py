@@ -1,0 +1,64 @@
+"""Tests for (s0, q) grid search (§4.4)."""
+
+import pytest
+
+from repro.core.tuning import TuningPoint, evaluate_candidate, grid_search, pareto_front
+
+MB = 1 << 20
+
+
+SIZES = [3 * MB, 8 * MB, 20 * MB, 64 * MB, 100 * MB, 500 * MB]
+
+
+def test_empty_sample_rejected():
+    with pytest.raises(ValueError):
+        evaluate_candidate([], 4 * MB, 2)
+
+
+def test_structural_metrics():
+    point = evaluate_candidate(SIZES, 4 * MB, 2)
+    assert point.s0 == 4 * MB and point.q == 2
+    assert point.average_chunk_size > 4 * MB
+    assert 0 < point.small_bucket_share < 1
+    assert point.average_chunk_count > 1
+    assert point.mean_degraded_read_time is None
+
+
+def test_larger_s0_grows_small_bucket_share():
+    """§4.4: larger s0 raises average chunk size and RS-coded share."""
+    p1 = evaluate_candidate(SIZES, 1 * MB, 2)
+    p4 = evaluate_candidate(SIZES, 4 * MB, 2)
+    p16 = evaluate_candidate(SIZES, 16 * MB, 2)
+    assert p1.small_bucket_share < p4.small_bucket_share < p16.small_bucket_share
+    assert p1.average_chunk_size < p4.average_chunk_size < p16.average_chunk_size
+
+
+def test_grid_search_covers_grid():
+    points = grid_search(SIZES, [1 * MB, 4 * MB], [2, 3])
+    assert len(points) == 4
+    assert {(p.s0, p.q) for p in points} == {(1 * MB, 2), (1 * MB, 3),
+                                             (4 * MB, 2), (4 * MB, 3)}
+
+
+def test_evaluator_invoked():
+    calls = []
+
+    def fake_eval(layout, size):
+        calls.append((layout.name, size))
+        return float(size)
+
+    point = evaluate_candidate(SIZES, 4 * MB, 2, evaluator=fake_eval)
+    assert len(calls) == len(SIZES)
+    assert point.mean_degraded_read_time == pytest.approx(sum(SIZES) / len(SIZES))
+
+
+def test_pareto_front_removes_dominated():
+    a = TuningPoint(1, 2, average_chunk_size=10.0, small_bucket_share=0.1,
+                    average_chunk_count=3, mean_degraded_read_time=1.0)
+    b = TuningPoint(2, 2, average_chunk_size=20.0, small_bucket_share=0.2,
+                    average_chunk_count=3, mean_degraded_read_time=0.5)
+    c = TuningPoint(3, 2, average_chunk_size=5.0, small_bucket_share=0.3,
+                    average_chunk_count=3, mean_degraded_read_time=2.0)  # dominated by a
+    front = pareto_front([a, b, c])
+    assert b in front
+    assert c not in front

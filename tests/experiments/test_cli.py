@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro.experiments`` runner."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+def test_experiment_registry_covers_the_paper():
+    expected = {"table1", "table2", "table3", "table4", "table5",
+                "fig2", "fig4", "fig7", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "breakdown", "range", "headline",
+                "ablations", "durability"}
+    assert expected == set(EXPERIMENTS)
+
+
+def test_cli_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Clay(10,4)" in out
+    assert "3.25" in out
+
+
+def test_cli_fig2(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "D1,D2,D3,D4" in out
+
+
+def test_cli_with_scale_flag(capsys):
+    assert main(["fig14", "--n-objects", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "Peak at q=" in out
+
+
+def test_cli_workload_flag(capsys):
+    assert main(["breakdown", "--workload", "W2", "--n-objects", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "Geo-128K" in out
+
+
+def test_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

@@ -1,0 +1,156 @@
+"""Unit and property tests for GF(2^8) scalar/vector arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf import (
+    GF_ORDER,
+    PRIMITIVE_ELEMENT,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    gf_xor_mul_into,
+)
+from repro.gf.field import EXP, LOG, MUL_TABLE
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def test_field_order():
+    assert GF_ORDER == 256
+
+
+def test_exp_log_roundtrip():
+    for a in range(1, 256):
+        assert EXP[LOG[a]] == a
+
+
+def test_primitive_element_generates_group():
+    seen = set()
+    x = 1
+    for _ in range(255):
+        seen.add(x)
+        x = gf_mul(x, PRIMITIVE_ELEMENT)
+    assert len(seen) == 255
+    assert x == 1  # order divides 255 and equals it
+
+
+def test_known_products():
+    # Hand-checked values under the 0x11D polynomial.
+    assert gf_mul(2, 128) == 0x1D  # x * x^7 = x^8 = x^4+x^3+x^2+1
+    assert gf_mul(4, 128) == 0x3A  # x^2 * x^7 = x * (x^4+x^3+x^2+1)
+    assert gf_mul(3, 7) == 9  # (x+1)(x^2+x+1) = x^3+1
+
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+
+@given(elements)
+def test_additive_inverse_is_self(a):
+    assert gf_add(a, a) == 0
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(elements, nonzero)
+def test_division_roundtrip(a, b):
+    assert gf_mul(gf_div(a, b), b) == a
+
+
+def test_inv_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf_div(5, 0)
+
+
+@given(nonzero, st.integers(min_value=-10, max_value=300))
+def test_pow_matches_repeated_multiplication(a, n):
+    if n >= 0:
+        expected = 1
+        for _ in range(n):
+            expected = gf_mul(expected, a)
+    else:
+        expected = 1
+        inv = gf_inv(a)
+        for _ in range(-n):
+            expected = gf_mul(expected, inv)
+    assert gf_pow(a, n) == expected
+
+
+def test_pow_zero_cases():
+    assert gf_pow(0, 0) == 1
+    assert gf_pow(0, 5) == 0
+    with pytest.raises(ZeroDivisionError):
+        gf_pow(0, -1)
+
+
+def test_mul_table_symmetric():
+    assert np.array_equal(MUL_TABLE, MUL_TABLE.T)
+
+
+def test_vectorized_mul_matches_scalar():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, size=100, dtype=np.uint8)
+    b = rng.integers(0, 256, size=100, dtype=np.uint8)
+    vec = gf_mul(a, b)
+    for i in range(100):
+        assert vec[i] == gf_mul(int(a[i]), int(b[i]))
+
+
+def test_gf_mul_bytes_identity_and_zero():
+    data = np.arange(256, dtype=np.uint8)
+    assert np.array_equal(gf_mul_bytes(1, data), data)
+    assert not np.any(gf_mul_bytes(0, data))
+
+
+def test_gf_mul_bytes_scalar_consistency():
+    data = np.arange(256, dtype=np.uint8)
+    out = gf_mul_bytes(7, data)
+    for i in range(256):
+        assert out[i] == gf_mul(7, i)
+
+
+def test_xor_mul_into_accumulates():
+    rng = np.random.default_rng(1)
+    acc = rng.integers(0, 256, size=64, dtype=np.uint8)
+    data = rng.integers(0, 256, size=64, dtype=np.uint8)
+    expected = acc ^ gf_mul_bytes(9, data)
+    gf_xor_mul_into(acc, 9, data)
+    assert np.array_equal(acc, expected)
+
+
+def test_xor_mul_into_coeff_zero_is_noop():
+    acc = np.arange(16, dtype=np.uint8)
+    before = acc.copy()
+    gf_xor_mul_into(acc, 0, np.full(16, 0xFF, dtype=np.uint8))
+    assert np.array_equal(acc, before)
+
+
+def test_xor_mul_into_coeff_one_is_xor():
+    acc = np.arange(16, dtype=np.uint8)
+    data = np.full(16, 0x0F, dtype=np.uint8)
+    expected = acc ^ data
+    gf_xor_mul_into(acc, 1, data)
+    assert np.array_equal(acc, expected)

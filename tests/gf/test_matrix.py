@@ -1,0 +1,131 @@
+"""Tests for GF(256) matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import (
+    SingularMatrixError,
+    cauchy_matrix,
+    mat_inv,
+    mat_mul,
+    mat_rank,
+    mat_vec,
+    systematic_generator,
+    vandermonde,
+)
+from repro.gf.matrix import mat_identity
+
+
+def random_matrix(rng, rows, cols):
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+def test_identity_multiplication():
+    rng = np.random.default_rng(0)
+    a = random_matrix(rng, 5, 5)
+    assert np.array_equal(mat_mul(a, mat_identity(5)), a)
+    assert np.array_equal(mat_mul(mat_identity(5), a), a)
+
+
+def test_mat_mul_shape_check():
+    with pytest.raises(ValueError):
+        mat_mul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_mat_vec_matches_mat_mul():
+    rng = np.random.default_rng(1)
+    a = random_matrix(rng, 4, 6)
+    x = rng.integers(0, 256, size=6, dtype=np.uint8)
+    assert np.array_equal(mat_vec(a, x), mat_mul(a, x[:, None])[:, 0])
+
+
+def test_mat_vec_shape_check():
+    with pytest.raises(ValueError):
+        mat_vec(np.zeros((2, 3), dtype=np.uint8), np.zeros(2, dtype=np.uint8))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**32 - 1))
+def test_inverse_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    # Rejection-sample an invertible matrix.
+    for _ in range(100):
+        a = random_matrix(rng, n, n)
+        if mat_rank(a) == n:
+            break
+    else:
+        pytest.skip("could not sample invertible matrix")
+    inv = mat_inv(a)
+    assert np.array_equal(mat_mul(a, inv), mat_identity(n))
+    assert np.array_equal(mat_mul(inv, a), mat_identity(n))
+
+
+def test_singular_matrix_raises():
+    a = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(SingularMatrixError):
+        mat_inv(a)
+
+
+def test_non_square_inverse_raises():
+    with pytest.raises(ValueError):
+        mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_rank_of_identity():
+    assert mat_rank(mat_identity(7)) == 7
+
+
+def test_rank_of_zero():
+    assert mat_rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+
+def test_rank_of_rank_one():
+    row = np.arange(1, 6, dtype=np.uint8)
+    from repro.gf.field import MUL_TABLE
+
+    a = np.stack([MUL_TABLE[c][row] for c in (1, 2, 3)])
+    assert mat_rank(a) == 1
+
+
+def test_vandermonde_square_submatrices_invertible():
+    v = vandermonde(3, [1, 2, 3, 4, 5])
+    from itertools import combinations
+
+    for cols in combinations(range(5), 3):
+        assert mat_rank(v[:, list(cols)]) == 3
+
+
+def test_vandermonde_rejects_duplicate_points():
+    with pytest.raises(ValueError):
+        vandermonde(2, [1, 1, 2])
+
+
+def test_cauchy_square_submatrices_invertible():
+    c = cauchy_matrix([10, 11, 12], [0, 1, 2, 3, 4])
+    from itertools import combinations
+
+    for cols in combinations(range(5), 3):
+        assert mat_rank(c[:, list(cols)]) == 3
+
+
+def test_cauchy_rejects_overlap():
+    with pytest.raises(ValueError):
+        cauchy_matrix([1, 2], [2, 3])
+
+
+def test_systematic_generator_is_mds():
+    """Any k rows of [I; P] must be invertible for an MDS code."""
+    from itertools import combinations
+
+    k, r = 4, 2
+    g = systematic_generator(k, r)
+    assert g.shape == (k + r, k)
+    for rows in combinations(range(k + r), k):
+        assert mat_rank(g[list(rows)]) == k
+
+
+def test_systematic_generator_field_limit():
+    with pytest.raises(ValueError):
+        systematic_generator(200, 100)

@@ -1,0 +1,118 @@
+"""Tests for the symbolic GF linear-system solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GFLinearSystem, UnderdeterminedSystemError, mat_rank, mat_vec
+
+
+def test_single_equation():
+    sys = GFLinearSystem(1, 1)
+    sys.add_equation({0: 3}, {0: 1})  # 3*u = s
+    r = sys.solve()
+    # u = inv(3) * s
+    from repro.gf import gf_inv
+
+    assert r.shape == (1, 1)
+    assert r[0, 0] == gf_inv(3)
+
+
+def test_two_by_two():
+    # u0 + u1 = s0 ; u0 + 2*u1 = s1  =>  u1 = ... check numerically.
+    sys = GFLinearSystem(2, 2)
+    sys.add_equation({0: 1, 1: 1}, {0: 1})
+    sys.add_equation({0: 1, 1: 2}, {1: 1})
+    r = sys.solve()
+    rng = np.random.default_rng(0)
+    u = rng.integers(0, 256, size=2, dtype=np.uint8)
+    from repro.gf import gf_add, gf_mul
+
+    s0 = gf_add(int(u[0]), int(u[1]))
+    s1 = gf_add(int(u[0]), gf_mul(2, int(u[1])))
+    s = np.array([s0, s1], dtype=np.uint8)
+    assert np.array_equal(mat_vec(r, s), u)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_invertible_systems(n, seed):
+    """Build A u = s with random invertible A; solver must recover u."""
+    rng = np.random.default_rng(seed)
+    for _ in range(100):
+        a = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+        if mat_rank(a) == n:
+            break
+    else:
+        pytest.skip("no invertible matrix sampled")
+    sys = GFLinearSystem(n, n)
+    for i in range(n):
+        sys.add_equation({j: int(a[i, j]) for j in range(n)}, {i: 1})
+    r = sys.solve()
+    u = rng.integers(0, 256, size=n, dtype=np.uint8)
+    s = mat_vec(a, u)
+    assert np.array_equal(mat_vec(r, s), u)
+
+
+def test_redundant_equations_tolerated():
+    sys = GFLinearSystem(1, 2)
+    sys.add_equation({0: 1}, {0: 1})
+    sys.add_equation({0: 1}, {0: 1})  # duplicate
+    r = sys.solve()
+    assert r[0, 0] == 1 and r[0, 1] == 0
+
+
+def test_underdetermined_raises():
+    sys = GFLinearSystem(2, 1)
+    sys.add_equation({0: 1, 1: 1}, {0: 1})
+    with pytest.raises(UnderdeterminedSystemError) as exc:
+        sys.solve()
+    assert exc.value.undetermined
+
+
+def test_underdetermined_partial_required_ok():
+    # u0 determined, u1 free; asking only for u0 succeeds.
+    sys = GFLinearSystem(2, 1)
+    sys.add_equation({0: 1}, {0: 1})
+    r = sys.solve(required=[0])
+    assert r[0, 0] == 1
+    with pytest.raises(UnderdeterminedSystemError):
+        sys.solve(required=[1])
+
+
+def test_entangled_required_unknown_raises():
+    # u0 + u1 = s0 pivots on u0 but leaves it entangled with free u1.
+    sys = GFLinearSystem(2, 1)
+    sys.add_equation({0: 1, 1: 1}, {0: 1})
+    with pytest.raises(UnderdeterminedSystemError):
+        sys.solve(required=[0])
+
+
+def test_index_bounds_checked():
+    sys = GFLinearSystem(2, 2)
+    with pytest.raises(IndexError):
+        sys.add_equation({5: 1}, {})
+    with pytest.raises(IndexError):
+        sys.add_equation({0: 1}, {9: 1})
+
+
+def test_no_equations_raises():
+    with pytest.raises(ValueError):
+        GFLinearSystem(1, 1).solve()
+
+
+def test_overdetermined_consistent_system():
+    """More equations than unknowns, consistent by construction."""
+    rng = np.random.default_rng(7)
+    n = 4
+    a = None
+    while a is None or mat_rank(a) < n:
+        a = rng.integers(0, 256, size=(n + 3, n), dtype=np.uint8)
+    sys = GFLinearSystem(n, n + 3)
+    for i in range(n + 3):
+        sys.add_equation({j: int(a[i, j]) for j in range(n)}, {i: 1})
+    r = sys.solve()
+    u = rng.integers(0, 256, size=n, dtype=np.uint8)
+    s = mat_vec(a, u)
+    assert np.array_equal(mat_vec(r, s), u)

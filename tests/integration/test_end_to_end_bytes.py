@@ -1,0 +1,202 @@
+"""End-to-end byte-level integration: the full RCStor data path on real data.
+
+This is the credibility test tying the whole stack together *without* the
+simulator: objects are geometrically partitioned into per-role buckets,
+buckets are Clay-encoded stripe-row by stripe-row (fronts RS-encoded in
+small-size-buckets), a disk is killed, every lost chunk is repaired using
+only the bytes its repair plan names, and degraded reads reassemble the
+original objects bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import ClayCode, RSCode, extract_reads
+from repro.core import GeometricPartitioner
+from repro.cluster.metadata import ChunkPosition, IndexRecord
+
+KB = 1 << 10
+
+K, R = 10, 4
+N = K + R
+S0 = 64 * KB  # multiple of Clay(10,4)'s alpha = 256
+Q = 2
+
+
+class MiniRCStor:
+    """An in-memory, byte-exact RCStor stripe group (one PG)."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.clay = ClayCode(K, R)
+        self.rs = RSCode(K, R)
+        self.partitioner = GeometricPartitioner(S0, Q)
+        #: buckets[level][role] -> bytearray of chunk slots
+        self.buckets: dict[int, list[bytearray]] = {}
+        self.small: list[bytearray] = [bytearray() for _ in range(K)]
+        self.records: list[IndexRecord] = []
+        self.objects: list[np.ndarray] = []
+        self._next_role = 0
+
+    # -- ingest --------------------------------------------------------
+    def put(self, data: np.ndarray) -> int:
+        object_id = len(self.objects)
+        self.objects.append(data)
+        role = self._next_role
+        self._next_role = (self._next_role + 1) % K
+        part = self.partitioner.partition(data.size)
+        positions = []
+        front_offset = len(self.small[role])
+        if part.front:
+            self.small[role].extend(data[:part.front].tobytes())
+        for spec in part.chunks():
+            level_buckets = self.buckets.setdefault(
+                spec.level, [bytearray() for _ in range(K)])
+            slot = len(level_buckets[role]) // spec.size
+            positions.append(ChunkPosition(spec.level, slot))
+            level_buckets[role].extend(
+                data[spec.offset:spec.offset + spec.size].tobytes())
+        self.records.append(IndexRecord(
+            object_id, data.size, disk_id=role, checksum=0,
+            chunk_positions=tuple(positions),
+            front_length=part.front, front_offset=front_offset if part.front else 0))
+        return object_id
+
+    # -- encode --------------------------------------------------------
+    def encode(self):
+        """Pad data buckets to equal rows and compute parity buckets.
+
+        The *chunk* is the encoding unit (§3.1), so each stripe row of a
+        bucket is an independent Clay codeword.
+        """
+        self.parity: dict[int, list[np.ndarray]] = {}
+        for level, buckets in self.buckets.items():
+            chunk = S0 * Q ** (level - 1)
+            rows = max(-(-len(b) // chunk) for b in buckets)
+            data = [np.zeros(rows * chunk, dtype=np.uint8) for _ in range(K)]
+            for role, bucket in enumerate(buckets):
+                arr = np.frombuffer(bytes(bucket), dtype=np.uint8)
+                data[role][:arr.size] = arr
+            parity = [np.zeros(rows * chunk, dtype=np.uint8) for _ in range(R)]
+            for row in range(rows):
+                sl = slice(row * chunk, (row + 1) * chunk)
+                row_parity = self.clay.encode([d[sl] for d in data])
+                for j in range(R):
+                    parity[j][sl] = row_parity[j]
+            self.parity[level] = parity
+            self.buckets[level] = [bytearray(d.tobytes()) for d in data]
+        small_len = max(len(b) for b in self.small)
+        small_data = []
+        for bucket in self.small:
+            arr = np.zeros(small_len, dtype=np.uint8)
+            src = np.frombuffer(bytes(bucket), dtype=np.uint8)
+            arr[:src.size] = src
+            small_data.append(arr)
+        self.small_parity = self.rs.encode(small_data)
+        self.small = [bytearray(d.tobytes()) for d in small_data]
+
+    # -- chunk access --------------------------------------------------
+    def stored_chunk(self, level: int, node: int, row: int) -> np.ndarray:
+        chunk = S0 * Q ** (level - 1)
+        if node < K:
+            raw = bytes(self.buckets[level][node][row * chunk:(row + 1) * chunk])
+            return np.frombuffer(raw, dtype=np.uint8)
+        return self.parity[level][node - K][row * chunk:(row + 1) * chunk]
+
+    def repair_chunk(self, level: int, failed_node: int, row: int) -> np.ndarray:
+        """Repair one chunk reading only its plan's byte ranges."""
+        chunk = S0 * Q ** (level - 1)
+        plan = self.clay.repair_plan(failed_node, chunk)
+        chunks = {node: self.stored_chunk(level, node, row)
+                  for node in range(N) if node != failed_node}
+        reads = extract_reads(plan, chunks)
+        return self.clay.repair(failed_node, reads, chunk)
+
+    def degraded_read(self, object_id: int, failed_node: int) -> np.ndarray:
+        """Reassemble an object whose disk has failed."""
+        record = self.records[object_id]
+        assert record.disk_id == failed_node
+        out = np.zeros(record.size, dtype=np.uint8)
+        offset = 0
+        if record.front_length:
+            small_len = len(self.small[0])
+            available = {i: np.frombuffer(bytes(self.small[i]), dtype=np.uint8)
+                         for i in range(K) if i != failed_node}
+            for j, parity in enumerate(self.small_parity):
+                available[K + j] = parity
+            decoded = self.rs.decode(available, [failed_node], small_len)
+            front = decoded[failed_node][record.front_offset:
+                                         record.front_offset + record.front_length]
+            out[:record.front_length] = front
+            offset = record.front_length
+        for pos in record.chunk_positions:
+            chunk = S0 * Q ** (pos.level - 1)
+            repaired = self.repair_chunk(pos.level, failed_node, pos.slot)
+            out[offset:offset + chunk] = repaired
+            offset += chunk
+        return out
+
+
+@pytest.fixture(scope="module")
+def store():
+    rng = np.random.default_rng(2024)
+    s = MiniRCStor(rng)
+    # Objects spanning sub-s0 to several levels (up to 8 * s0).
+    for size in (3 * KB, 65 * KB, 130 * KB, 200 * KB, 333 * KB, 512 * KB,
+                 17 * KB, 450 * KB, 129 * KB, 64 * KB, 100 * KB, 280 * KB):
+        s.put(rng.integers(0, 256, size, dtype=np.uint8))
+    s.encode()
+    return s
+
+
+def test_bucket_alignment(store):
+    for level, buckets in store.buckets.items():
+        chunk = S0 * Q ** (level - 1)
+        for bucket in buckets:
+            assert len(bucket) % chunk == 0
+
+
+@pytest.mark.slow
+def test_repair_every_lost_chunk_from_planned_bytes_only(store):
+    """Kill node 3; every chunk on it must repair byte-exactly via plans."""
+    failed = 3
+    for level in store.buckets:
+        chunk = S0 * Q ** (level - 1)
+        rows = len(store.buckets[level][failed]) // chunk
+        for row in range(rows):
+            expected = store.stored_chunk(level, failed, row)
+            got = store.repair_chunk(level, failed, row)
+            assert np.array_equal(got, expected), (level, row)
+
+
+@pytest.mark.slow
+def test_parity_chunk_repair(store):
+    """Parity-node chunks repair too (Figure 2 cases 3/4)."""
+    level = min(store.buckets)
+    chunk = S0 * Q ** (level - 1)
+    for failed in (10, 13):
+        expected = store.stored_chunk(level, failed, 0)
+        got = store.repair_chunk(level, failed, 0)
+        assert np.array_equal(got, expected)
+
+
+@pytest.mark.slow
+def test_degraded_reads_reassemble_objects(store):
+    """Degraded reads return the original bytes for every object shape."""
+    tested = 0
+    for record in store.records:
+        failed = record.disk_id
+        got = store.degraded_read(record.object_id, failed)
+        assert np.array_equal(got, store.objects[record.object_id]), \
+            f"object {record.object_id}"
+        tested += 1
+        if tested >= 6:  # covers fronts, multi-level chunks, tiny objects
+            break
+
+
+def test_small_bucket_front_decoding(store):
+    """An object smaller than s0 lives entirely in the small-size-bucket."""
+    tiny = next(r for r in store.records if r.size < S0)
+    assert not tiny.chunk_positions
+    got = store.degraded_read(tiny.object_id, tiny.disk_id)
+    assert np.array_equal(got, store.objects[tiny.object_id])

@@ -1,0 +1,115 @@
+"""Tests for the MTTDL reliability model."""
+
+import math
+
+import pytest
+
+from repro.codes import ClayCode, LRCCode, RSCode
+from repro.reliability import (
+    ReliabilityParams,
+    annual_durability,
+    fatal_probabilities_for_code,
+    mttdl_group,
+    system_mttdl,
+)
+from repro.reliability.markov import HOURS_PER_YEAR, durability_nines
+
+
+def params(n=14, afr=0.02, repair_hours=1.0, q=(0.0, 0.0, 0.0, 0.0, 1.0)):
+    return ReliabilityParams(n, afr, repair_hours, q)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        params(n=1)
+    with pytest.raises(ValueError):
+        params(afr=0)
+    with pytest.raises(ValueError):
+        params(q=(0.0, 0.5))  # must end at 1.0
+    with pytest.raises(ValueError):
+        params(q=(0.0, 2.0, 1.0))
+
+
+def test_single_fault_tolerance_closed_form():
+    """For r=1 (mirror-like), MTTDL = (mu + (2n-1) lam) / (n (n-1) lam^2)."""
+    n, afr, repair = 4, 0.05, 2.0
+    p = ReliabilityParams(n, afr, repair, (0.0, 1.0))
+    lam = afr / HOURS_PER_YEAR
+    mu = 1 / repair
+    expected = (mu + (2 * n - 1) * lam) / (n * (n - 1) * lam ** 2)
+    # Renewal method is exact to O(lam/mu).
+    assert mttdl_group(p) == pytest.approx(expected, rel=1e-4)
+
+
+def test_faster_recovery_increases_mttdl():
+    """The paper's §2.1 claim, quantified."""
+    slow = mttdl_group(params(repair_hours=10.0))
+    fast = mttdl_group(params(repair_hours=1.0))
+    assert fast > 50 * slow  # r=4: roughly (10x)^4 / corrections
+
+
+def test_mttdl_scaling_with_recovery_speedup():
+    """With r tolerated failures, MTTDL scales ~speedup^r."""
+    base = mttdl_group(params(repair_hours=2.0))
+    twice = mttdl_group(params(repair_hours=1.0))
+    assert twice / base == pytest.approx(2 ** 4, rel=0.05)
+
+
+def test_higher_afr_decreases_mttdl():
+    assert mttdl_group(params(afr=0.05)) < mttdl_group(params(afr=0.01))
+
+
+def test_system_mttdl_divides_by_groups():
+    p = params()
+    assert system_mttdl(p, 100) == pytest.approx(mttdl_group(p) / 100)
+    with pytest.raises(ValueError):
+        system_mttdl(p, 0)
+
+
+def test_fatal_probabilities_mds():
+    assert fatal_probabilities_for_code(RSCode(10, 4)) == [0, 0, 0, 0, 1.0]
+    assert fatal_probabilities_for_code(ClayCode(10, 4)) == [0, 0, 0, 0, 1.0]
+
+
+def test_fatal_probabilities_lrc():
+    """LRC(10,2,2) survives any 3 failures but loses some 4th failures."""
+    q = fatal_probabilities_for_code(LRCCode(10, 2, 2))
+    assert q[0] == q[1] == q[2] == 0.0
+    assert 0 < q[3] < 0.5  # a minority of 4th failures is fatal
+    assert q[-1] == 1.0
+
+
+def test_lrc_mttdl_below_mds_at_same_recovery_speed():
+    """Non-MDS reliability penalty: same repair time, earlier data loss."""
+    mds = params(q=(0.0, 0.0, 0.0, 0.0, 1.0))
+    q_lrc = tuple(fatal_probabilities_for_code(LRCCode(10, 2, 2)))
+    lrc = params(q=q_lrc)
+    assert mttdl_group(lrc) < mttdl_group(mds)
+
+
+def test_faster_recovery_can_beat_mds_tolerance():
+    """The paper's trade: Clay+Geo recovers 1.85x faster than RS, which
+    (all else equal) gives it ~1.85^4 more MTTDL."""
+    rs = mttdl_group(params(repair_hours=1.85))
+    clay = mttdl_group(params(repair_hours=1.0))
+    assert clay / rs == pytest.approx(1.85 ** 4, rel=0.05)
+
+
+def test_annual_durability_and_nines():
+    mttdl = 1e9  # hours
+    p = annual_durability(mttdl)
+    assert 0 < p < 1
+    nines = durability_nines(mttdl)
+    assert nines == pytest.approx(-math.log10(1 - p))
+    with pytest.raises(ValueError):
+        annual_durability(0)
+
+
+def test_reasonable_magnitudes():
+    """14-wide group, 2% AFR, 2-hour repair: astronomically durable per
+    group; a large fleet brings it down but stays in the many-nines range."""
+    p = params(repair_hours=2.0)
+    group = mttdl_group(p)
+    assert group > 1e12  # hours
+    fleet = system_mttdl(p, 10_000)
+    assert durability_nines(fleet) > 4

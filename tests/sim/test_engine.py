@@ -1,0 +1,263 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import AllOf, Environment, SimulationError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = env.process(_sleep(env, 5.0))
+    env.run(done)
+    assert env.now == pytest.approx(5.0)
+
+
+def _sleep(env, delay):
+    yield env.timeout(delay)
+    return "slept"
+
+
+def test_process_return_value():
+    env = Environment()
+    done = env.process(_sleep(env, 1.0))
+    assert env.run(done) == "slept"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        yield env.timeout(2)
+        yield env.timeout(3)
+        return env.now
+
+    assert env.run(env.process(proc())) == pytest.approx(6.0)
+
+
+def test_timeout_value_passes_through():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(1, value="payload")
+        return got
+
+    assert env.run(env.process(proc())) == "payload"
+
+
+def test_concurrent_processes_interleave():
+    env = Environment()
+    log = []
+
+    def worker(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker("b", 2))
+    env.process(worker("a", 1))
+    env.process(worker("c", 3))
+    env.run()
+    assert log == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_fifo_order_at_same_time():
+    """Events scheduled at the same instant fire in scheduling order."""
+    env = Environment()
+    log = []
+
+    def worker(name):
+        yield env.timeout(1)
+        log.append(name)
+
+    for name in "abcd":
+        env.process(worker(name))
+    env.run()
+    assert log == list("abcd")
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(4)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return (env.now, result)
+
+    assert env.run(env.process(parent())) == (4.0, 42)
+
+
+def test_wait_on_manual_event():
+    env = Environment()
+    gate = env.event()
+
+    def opener():
+        yield env.timeout(3)
+        gate.succeed("open")
+
+    def waiter():
+        value = yield gate
+        return (env.now, value)
+
+    env.process(opener())
+    done = env.process(waiter())
+    assert env.run(done) == (3.0, "open")
+
+
+def test_double_succeed_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_value_before_trigger_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_all_of_waits_for_every_child():
+    env = Environment()
+
+    def child(delay):
+        yield env.timeout(delay)
+        return delay
+
+    def parent():
+        procs = [env.process(child(d)) for d in (3, 1, 2)]
+        values = yield AllOf(env, procs)
+        return (env.now, values)
+
+    assert env.run(env.process(parent())) == (3.0, [3, 1, 2])
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def parent():
+        yield AllOf(env, [])
+        return env.now
+
+    assert env.run(env.process(parent())) == 0.0
+
+
+def test_yield_already_fired_event_resumes():
+    """A process that yields a long-drained event must not deadlock."""
+    env = Environment()
+    gate = env.event()
+    gate.succeed("early")
+
+    def late_waiter():
+        yield env.timeout(5)
+        value = yield gate
+        return value
+
+    # Drain gate's callbacks first.
+    env.run(until=1)
+    assert env.run(env.process(late_waiter())) == "early"
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(SimulationError):
+        env.process(bad())
+        env.run()
+
+
+def test_run_until_time():
+    env = Environment()
+    log = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+            log.append(env.now)
+
+    env.process(ticker())
+    env.run(until=3.5)
+    assert log == [1, 2, 3]
+    assert env.now == pytest.approx(3.5)
+
+
+def test_run_dry_before_event_raises():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError):
+        env.run(never)
+
+
+def test_deterministic_replay():
+    def scenario():
+        env = Environment()
+        order = []
+
+        def worker(name, d):
+            yield env.timeout(d)
+            order.append(name)
+
+        for i, d in enumerate([3, 1, 2, 1, 3]):
+            env.process(worker(i, d))
+        env.run()
+        return order
+
+    assert scenario() == scenario()
+
+
+def test_process_exception_propagates():
+    """A crashing process surfaces its error instead of hanging the sim."""
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_nested_all_of():
+    env = Environment()
+
+    def child(d):
+        yield env.timeout(d)
+        return d
+
+    def parent():
+        inner = AllOf(env, [env.process(child(1)), env.process(child(2))])
+        outer = AllOf(env, [inner, env.process(child(3))])
+        values = yield outer
+        return (env.now, values)
+
+    now, values = env.run(env.process(parent()))
+    assert now == 3.0
+    assert values[0] == [1, 2] and values[1] == 3
+
+
+def test_many_processes_scale():
+    """The heap scheduler handles thousands of concurrent processes."""
+    env = Environment()
+    done = []
+
+    def worker(i):
+        yield env.timeout(i % 97 * 0.01)
+        done.append(i)
+
+    for i in range(5000):
+        env.process(worker(i))
+    env.run()
+    assert len(done) == 5000

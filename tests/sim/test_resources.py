@@ -1,0 +1,163 @@
+"""Tests for FIFO / priority resources."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource, SimulationError
+
+
+def test_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_serial_service_on_unit_resource():
+    env = Environment()
+    disk = Resource(env)
+    done = []
+
+    def job(name, service):
+        req = disk.request()
+        yield req
+        yield env.timeout(service)
+        disk.release(req)
+        done.append((env.now, name))
+
+    env.process(job("a", 2))
+    env.process(job("b", 3))
+    env.process(job("c", 1))
+    env.run()
+    assert done == [(2, "a"), (5, "b"), (6, "c")]
+
+
+def test_parallel_service_with_capacity():
+    env = Environment()
+    disk = Resource(env, capacity=2)
+    done = []
+
+    def job(name, service):
+        req = disk.request()
+        yield req
+        yield env.timeout(service)
+        disk.release(req)
+        done.append((env.now, name))
+
+    for name in ("a", "b", "c"):
+        env.process(job(name, 2))
+    env.run()
+    # a and b run together; c starts when one finishes.
+    assert done == [(2, "a"), (2, "b"), (4, "c")]
+
+
+def test_release_requires_grant():
+    env = Environment()
+    disk = Resource(env)
+    first = disk.request()  # granted immediately
+    second = disk.request()  # queued
+    with pytest.raises(SimulationError):
+        disk.release(second)
+    disk.release(first)
+
+
+def test_fifo_ignores_priority():
+    env = Environment()
+    disk = Resource(env)
+    order = []
+
+    def job(name, priority):
+        req = disk.request(priority)
+        yield req
+        yield env.timeout(1)
+        disk.release(req)
+        order.append(name)
+
+    env.process(job("low", 10))
+    env.process(job("high", 0))
+    env.run()
+    assert order == ["low", "high"]  # plain Resource is strictly FIFO
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    disk = PriorityResource(env)
+    order = []
+
+    def job(name, priority, submit_at):
+        yield env.timeout(submit_at)
+        req = disk.request(priority)
+        yield req
+        yield env.timeout(10)
+        disk.release(req)
+        order.append(name)
+
+    # First job occupies the disk; the rest queue and are served by priority.
+    env.process(job("first", 5, 0))
+    env.process(job("background", 5, 1))
+    env.process(job("foreground", 0, 2))
+    env.run()
+    assert order == ["first", "foreground", "background"]
+
+
+def test_priority_fifo_within_class():
+    env = Environment()
+    disk = PriorityResource(env)
+    order = []
+
+    def job(name, submit_at):
+        yield env.timeout(submit_at)
+        req = disk.request(1)
+        yield req
+        yield env.timeout(5)
+        disk.release(req)
+        order.append(name)
+
+    env.process(job("a", 0))
+    env.process(job("b", 1))
+    env.process(job("c", 2))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_utilization_accounting():
+    env = Environment()
+    disk = Resource(env)
+
+    def job():
+        req = disk.request()
+        yield req
+        yield env.timeout(4)
+        disk.release(req)
+        yield env.timeout(4)
+
+    env.run(env.process(job()))
+    assert disk.utilization() == pytest.approx(0.5)
+
+
+def test_utilization_multi_capacity():
+    env = Environment()
+    disk = Resource(env, capacity=2)
+
+    def job():
+        req = disk.request()
+        yield req
+        yield env.timeout(10)
+        disk.release(req)
+
+    env.process(job())
+    env.process(job())
+    env.run()
+    assert disk.utilization() == pytest.approx(1.0)
+
+
+def test_queue_length():
+    env = Environment()
+    disk = Resource(env)
+    disk.request()
+    disk.request()
+    disk.request()
+    assert disk.queue_length == 2
+
+
+def test_utilization_at_time_zero():
+    env = Environment()
+    assert Resource(env).utilization() == 0.0

@@ -1,0 +1,38 @@
+"""The examples must stay runnable: compile all, execute the fast ones."""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "degraded_read_pipelining.py",
+            "recovery_comparison.py", "parameter_tuning.py",
+            "regenerating_tradeoffs.py", "cluster_lifecycle.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.slow
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Clay" in out
+
+
+@pytest.mark.slow
+def test_pipelining_example_runs(capsys):
+    runpy.run_path(str(EXAMPLES[0].parent / "degraded_read_pipelining.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Timeline" in out

@@ -1,0 +1,65 @@
+"""Tests for byte/count CDF utilities (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import byte_cdf, count_cdf
+
+
+def test_byte_cdf_simple():
+    sizes = np.array([1.0, 1.0, 8.0])
+    grid, cdf = byte_cdf(sizes, grid=np.array([0.5, 1.0, 8.0]))
+    assert cdf[0] == 0.0
+    assert cdf[1] == pytest.approx(0.2)  # 2 of 10 bytes
+    assert cdf[2] == pytest.approx(1.0)
+
+
+def test_byte_cdf_weighted():
+    sizes = np.array([1.0, 8.0])
+    weights = np.array([8.0, 1.0])  # small object read 8x as often
+    _, cdf = byte_cdf(sizes, grid=np.array([1.0, 8.0]), weights=weights)
+    assert cdf[0] == pytest.approx(0.5)
+
+
+def test_count_cdf():
+    sizes = np.array([1.0, 2.0, 4.0, 8.0])
+    grid, cdf = count_cdf(sizes, grid=np.array([1.0, 3.0, 8.0]))
+    assert cdf[0] == pytest.approx(0.25)
+    assert cdf[1] == pytest.approx(0.5)
+    assert cdf[2] == pytest.approx(1.0)
+
+
+def test_default_grid_is_geometric():
+    sizes = np.geomspace(1, 1e6, 100)
+    grid, cdf = byte_cdf(sizes, points=16)
+    assert len(grid) == 16
+    ratios = grid[1:] / grid[:-1]
+    assert np.allclose(ratios, ratios[0])
+
+
+def test_cdf_monotone():
+    rng = np.random.default_rng(0)
+    sizes = rng.lognormal(10, 2, size=1000)
+    _, b = byte_cdf(sizes)
+    _, c = count_cdf(sizes)
+    assert np.all(np.diff(b) >= -1e-12)
+    assert np.all(np.diff(c) >= -1e-12)
+    assert b[-1] == pytest.approx(1.0)
+    assert c[-1] == pytest.approx(1.0)
+
+
+def test_byte_cdf_lags_count_cdf():
+    """Capacity mass sits right of count mass for heavy-tailed sizes."""
+    rng = np.random.default_rng(1)
+    sizes = rng.lognormal(10, 2, size=5000)
+    grid = np.geomspace(sizes.min(), sizes.max(), 32)
+    _, b = byte_cdf(sizes, grid=grid)
+    _, c = count_cdf(sizes, grid=grid)
+    assert np.all(b <= c + 1e-9)
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError):
+        byte_cdf(np.array([]))
+    with pytest.raises(ValueError):
+        count_cdf(np.array([]))

@@ -1,0 +1,98 @@
+"""Tests for the truncated-lognormal building block."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import TruncatedLognormal, solve_median_for_mean
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TruncatedLognormal(10, 1, 100, 10)  # lo > hi
+    with pytest.raises(ValueError):
+        TruncatedLognormal(-1, 1, 1, 10)
+    with pytest.raises(ValueError):
+        TruncatedLognormal(10, 0, 1, 10)
+
+
+def test_cdf_bounds():
+    d = TruncatedLognormal(100, 1.0, 10, 1000)
+    assert d.cdf(5) == 0.0
+    assert d.cdf(2000) == 1.0
+    assert 0 < d.cdf(100) < 1
+
+
+def test_cdf_monotone():
+    d = TruncatedLognormal(100, 1.2, 10, 10_000)
+    xs = np.geomspace(10, 10_000, 50)
+    cdfs = [d.cdf(x) for x in xs]
+    assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+
+
+def test_samples_within_bounds():
+    d = TruncatedLognormal(100, 1.5, 10, 1000)
+    rng = np.random.default_rng(0)
+    s = d.sample(rng, 10_000)
+    assert s.min() >= 10 and s.max() <= 1000
+
+
+def test_sample_mean_matches_closed_form():
+    d = TruncatedLognormal(100, 1.0, 10, 10_000)
+    rng = np.random.default_rng(1)
+    s = d.sample(rng, 200_000)
+    assert s.mean() == pytest.approx(d.mean(), rel=0.02)
+
+
+def test_sample_median_near_untruncated_median():
+    d = TruncatedLognormal(100, 0.8, 1, 1e9)  # effectively untruncated
+    rng = np.random.default_rng(2)
+    s = d.sample(rng, 100_000)
+    assert np.median(s) == pytest.approx(100, rel=0.03)
+
+
+def test_mean_formula_against_numeric_integration():
+    d = TruncatedLognormal(50, 1.3, 5, 5000)
+    xs = np.geomspace(5, 5000, 200_001)
+    # Numeric E[X] over the truncated density via the CDF.
+    cdf = np.array([d.cdf(x) for x in xs])
+    numeric = np.sum(0.5 * (xs[1:] + xs[:-1]) * np.diff(cdf))
+    assert d.mean() == pytest.approx(numeric, rel=1e-3)
+
+
+def test_solver_hits_target():
+    median = solve_median_for_mean(1.5, 1e3, 1e9, 5e6)
+    d = TruncatedLognormal(median, 1.5, 1e3, 1e9)
+    assert d.mean() == pytest.approx(5e6, rel=1e-6)
+
+
+def test_solver_rejects_unreachable_target():
+    with pytest.raises(ValueError):
+        solve_median_for_mean(1.0, 1e3, 1e6, 1e9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.3, max_value=2.5),
+       st.floats(min_value=0.05, max_value=0.9))
+def test_property_solver_roundtrip(sigma, frac):
+    lo, hi = 1e3, 1e8
+    # geometric interpolation of the target inside the interval
+    target = lo * (hi / lo) ** frac
+    if not lo < target < hi:
+        return
+    median = solve_median_for_mean(sigma, lo, hi, target)
+    got = TruncatedLognormal(median, sigma, lo, hi).mean()
+    assert got == pytest.approx(target, rel=1e-5)
+
+
+def test_norm_ppf_accuracy():
+    from repro.trace.distribution import _norm_ppf, _phi
+
+    ps = np.array([0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999])
+    zs = _norm_ppf(ps)
+    back = np.array([_phi(z) for z in zs])
+    assert np.allclose(back, ps, atol=1e-8)
+    assert math.isclose(float(_norm_ppf(np.array([0.5]))[0]), 0.0, abs_tol=1e-12)

@@ -1,0 +1,143 @@
+"""Tests for W1/W2 workloads and the request sampler (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import W1, W2, AliTraceModel, RequestSampler
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(777)
+
+
+@pytest.fixture(scope="module")
+def w1_sizes(rng):
+    return W1.sample_sizes(rng, 30_000)
+
+
+@pytest.fixture(scope="module")
+def w2_sizes(rng):
+    return W2.sample_sizes(rng, 30_000)
+
+
+def test_w1_range_and_mean(w1_sizes):
+    assert w1_sizes.min() >= 4 * MB
+    assert w1_sizes.max() <= 4 * GB
+    assert w1_sizes.mean() == pytest.approx(102.8 * MB, rel=0.05)
+
+
+def test_w2_range_and_mean(w2_sizes):
+    assert w2_sizes.min() >= 4 * KB
+    assert w2_sizes.max() <= 4 * MB
+    assert w2_sizes.mean() == pytest.approx(101.3 * KB, rel=0.05)
+
+
+def test_workload_cdf_consistent(w1_sizes):
+    empirical = float((w1_sizes <= 64 * MB).mean())
+    assert W1.cdf(64 * MB) == pytest.approx(empirical, abs=0.02)
+
+
+def test_request_sampler_solves_theta(w1_sizes):
+    sampler = RequestSampler(w1_sizes, mean_request_size=148.5 * MB)
+    assert sampler.mean_request_size == pytest.approx(148.5 * MB, rel=1e-3)
+    assert sampler.theta > 0  # W1 read traffic skews to larger objects
+
+
+def test_w2_request_sampler_skews_small(w2_sizes):
+    sampler = RequestSampler(w2_sizes, mean_request_size=72.0 * KB)
+    assert sampler.theta < 0
+    assert sampler.mean_request_size == pytest.approx(72.0 * KB, rel=1e-3)
+
+
+def test_request_sampler_empirical_mean(w1_sizes, rng):
+    sampler = RequestSampler(w1_sizes, mean_request_size=148.5 * MB)
+    reqs = sampler.sample_sizes(rng, 50_000)
+    assert reqs.mean() == pytest.approx(148.5 * MB, rel=0.05)
+
+
+def test_request_sampler_validation():
+    with pytest.raises(ValueError):
+        RequestSampler(np.array([]))
+    with pytest.raises(ValueError):
+        RequestSampler(np.array([100.0, 200.0]), mean_request_size=1e12)
+
+
+def test_request_sampler_uniform_default():
+    sizes = np.array([10.0, 20.0, 30.0])
+    sampler = RequestSampler(sizes)
+    assert sampler.theta == 0.0
+    assert sampler.mean_request_size == pytest.approx(20.0)
+
+
+def test_trace_capacity_dominated_by_large_objects(rng):
+    """§4.1: > 97.7 % of capacity is in objects larger than 4 MB."""
+    model = AliTraceModel()
+    sizes = model.sample_sizes(rng, 100_000)
+    assert model.capacity_share_above(sizes, 4 * MB) > 0.977
+
+
+def test_trace_spans_published_range(rng):
+    model = AliTraceModel()
+    sizes = model.sample_sizes(rng, 100_000)
+    assert sizes.min() >= 4 * KB and sizes.max() <= 4 * GB
+    # Both populations are present.
+    assert (sizes < MB).mean() > 0.3
+    assert (sizes > 16 * MB).mean() > 0.05
+
+
+def test_trace_objects_have_ids(rng):
+    objs = AliTraceModel().sample_objects(rng, 100)
+    assert [o.object_id for o in objs] == list(range(100))
+    assert all(o.size >= 4 * KB for o in objs)
+
+
+def test_capacity_share_empty():
+    assert AliTraceModel().capacity_share_above(np.array([]), 1) == 0.0
+
+
+def test_determinism():
+    a = W1.sample_sizes(np.random.default_rng(42), 1000)
+    b = W1.sample_sizes(np.random.default_rng(42), 1000)
+    assert np.array_equal(a, b)
+
+
+def test_w2_mixture_matches_section_6_3_shares():
+    """W2's two-population shape reproduces the paper's small-size-bucket
+    capacity shares (26.7% / 35.4% at s0 = 128/256 KB) within tolerance."""
+    from repro.core.partitioning import GeometricPartitioner
+
+    sizes = W2.sample_sizes(np.random.default_rng(9), 20_000)
+
+    def share(s0):
+        p = GeometricPartitioner(s0, 2, 256 * MB)
+        front = total = 0
+        for s in sizes:
+            part = p.partition(int(s))
+            front += part.front
+            total += s
+        return front / total
+
+    assert share(128 * KB) == pytest.approx(0.267, abs=0.05)
+    assert share(256 * KB) == pytest.approx(0.354, abs=0.05)
+
+
+def test_mixture_workload_validation():
+    from repro.trace import MixtureWorkload
+
+    with pytest.raises(ValueError):
+        MixtureWorkload("bad", 4 * KB, 4 * MB, mean_object_size=1.0,
+                        mean_request_size=1.0, n_objects_paper=1,
+                        small_median=16 * KB, small_sigma=1.0,
+                        large_median=800 * KB, large_sigma=0.9)
+
+
+def test_mixture_cdf_monotone():
+    xs = np.geomspace(4 * KB, 4 * MB, 40)
+    cdfs = [W2.cdf(float(x)) for x in xs]
+    assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+    assert cdfs[0] < 0.05 and cdfs[-1] > 0.95
