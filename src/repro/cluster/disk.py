@@ -89,13 +89,23 @@ SSD = DiskModel("ssd", seek_time=1e-6, read_bandwidth=550 * MB,
 
 
 class Disk:
-    """A simulated disk: one service queue plus traffic counters."""
+    """A simulated disk: one service queue plus traffic counters.
 
-    def __init__(self, env: Environment, model: DiskModel, disk_id: int):
+    With an :class:`~repro.obs.Observer`, the queue records per-lane wait
+    histograms (``disk.queue_wait{lane=...}``) and queue-depth / in-use
+    gauges labelled by disk id.  ``run`` scopes the gauge labels to one
+    measurement — time-weighted gauges cannot be shared across environments
+    whose sim clocks each restart at zero.
+    """
+
+    def __init__(self, env: Environment, model: DiskModel, disk_id: int,
+                 obs=None, run: str | None = None):
         self.env = env
         self.model = model
         self.disk_id = disk_id
-        self.queue = PriorityResource(env, capacity=1)
+        instance = str(disk_id) if run is None else f"{run}.{disk_id}"
+        self.queue = PriorityResource(env, capacity=1, obs=obs,
+                                      kind="disk", instance=instance)
         self.bytes_read = 0
         self.bytes_written = 0
         self.n_read_ios = 0

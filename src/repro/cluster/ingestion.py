@@ -74,7 +74,8 @@ def measure_puts(system: RCStor, sizes, busy: bool = False,
                  seed: int = 0) -> PutReport:
     """Simulate sequential puts: client upload pipelined into 3 replica
     writes on distinct nodes; ack when the last replica is durable."""
-    rt = _Runtime(system.config, seed)
+    rt = _Runtime(system.config, seed, system.obs,
+                  label=f"{system.name}/puts")
     if busy:
         start_foreground_load(
             rt.env, rt.disks, rt.rng,
@@ -100,8 +101,11 @@ def measure_puts(system: RCStor, sizes, busy: bool = False,
             t0 = rt.env.now
             yield rt.env.process(one_put(object_id, size))
             latencies.append(rt.env.now - t0)
+            if rt.obs is not None:
+                rt.span("put", "puts", t0, rt.env.now, size=size)
 
     rt.env.run(rt.env.process(driver()))
+    rt.finalize()
     return PutReport(
         mean_latency=float(np.mean(latencies)),
         p95_latency=float(np.percentile(latencies, 95)),
@@ -119,7 +123,8 @@ def run_batch_export(system: RCStor, sizes, concurrency: int = 64,
     partitioned chunks to the destination disk and the parity share to the
     parity disks — all at background priority.
     """
-    rt = _Runtime(system.config, seed)
+    rt = _Runtime(system.config, seed, system.obs,
+                  label=f"{system.name}/batch-export")
     env = rt.env
     config = system.config
     sizes = [int(s) for s in sizes]
@@ -163,6 +168,7 @@ def run_batch_export(system: RCStor, sizes, concurrency: int = 64,
     start = env.now
     env.run(env.process(driver()))
     makespan = env.now - start
+    rt.finalize()
     exported = sum(sizes)
     return ExportReport(
         makespan=makespan,

@@ -16,15 +16,26 @@ GBPS = 125 * (1 << 20)  # 1 Gbit/s in bytes/second (network gigabits)
 
 
 class Link:
-    """A serialising bandwidth pipe with byte accounting."""
+    """A serialising bandwidth pipe with byte accounting.
 
-    def __init__(self, env: Environment, bandwidth: float, name: str = "link"):
+    With an :class:`~repro.obs.Observer` (and a metric ``kind``), the queue
+    records wait-time histograms and depth / in-use gauges under
+    ``{kind}.queue_wait`` / ``{kind}.queue_depth`` labelled by link name.
+    ``run`` scopes the gauge labels to one measurement — time-weighted
+    gauges cannot be shared across environments whose sim clocks each
+    restart at zero.
+    """
+
+    def __init__(self, env: Environment, bandwidth: float, name: str = "link",
+                 obs=None, kind: str | None = None, run: str | None = None):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.env = env
         self.bandwidth = bandwidth
         self.name = name
-        self.queue = Resource(env, capacity=1)
+        instance = name if run is None else f"{run}.{name}"
+        self.queue = Resource(env, capacity=1, obs=obs,
+                              kind=kind or "link", instance=instance)
         self.bytes_transferred = 0
 
     def transfer_time(self, nbytes: int) -> float:
@@ -46,9 +57,9 @@ class Nic(Link):
     """A node's network interface (default 56 Gbps IPoIB ~ 6.8 GB/s)."""
 
     def __init__(self, env: Environment, bandwidth: float = 50 * GBPS,
-                 name: str = "nic"):
+                 name: str = "nic", obs=None, run: str | None = None):
         # 56 Gbps IPoIB delivers roughly 6.5 GB/s of goodput in practice.
-        super().__init__(env, bandwidth, name)
+        super().__init__(env, bandwidth, name, obs=obs, kind="nic", run=run)
 
 
 def client_link(env: Environment, gbps: float = 1.0) -> Link:

@@ -30,6 +30,7 @@ from repro.cluster.topology import Cluster, ClusterConfig, PlacementGroup
 from repro.codes import LRCCode, RSCode
 from repro.codes.base import ErasureCode
 from repro.core.layouts import RS_KIND, Layout
+from repro.obs.observer import Observer, get_default_observer
 from repro.sim import Environment
 
 MB = 1 << 20
@@ -70,15 +71,56 @@ class _RecoveryTask:
 
 
 class _Runtime:
-    """Per-measurement simulation state (fresh env + resources)."""
+    """Per-measurement simulation state (fresh env + resources).
 
-    def __init__(self, config: ClusterConfig, seed: int):
-        self.env = Environment()
-        self.disks = [Disk(self.env, config.disk_model, i)
+    When an :class:`~repro.obs.Observer` is attached, the runtime registers
+    itself as a trace *process* (its sim clock restarts at zero), wires the
+    engine hooks, instruments every disk and NIC queue, and offers
+    :meth:`span` for recording sim-time intervals on named tracks.
+    """
+
+    def __init__(self, config: ClusterConfig, seed: int,
+                 obs: Observer | None = None, label: str = "run"):
+        self.obs = obs
+        self.label = label
+        self.env = Environment(
+            trace_hooks=obs.engine_hooks if obs is not None else None)
+        self.pid = obs.tracer.process(label) if obs is not None else 0
+        run = str(self.pid) if obs is not None else None
+        self.disks = [Disk(self.env, config.disk_model, i, obs=obs, run=run)
                       for i in range(config.n_disks)]
         self.nics = [Nic(self.env, bandwidth=config.nic_bandwidth,
-                         name=f"nic-{n}") for n in range(config.n_nodes)]
+                         name=f"nic-{n}", obs=obs, run=run)
+                     for n in range(config.n_nodes)]
         self.rng = np.random.default_rng(seed)
+
+    def span(self, name: str, track: str, start: float, end: float,
+             **args) -> None:
+        """Record a finished sim-time span on this runtime's timeline."""
+        tracer = self.obs.tracer
+        tracer.complete(name, self.pid, tracer.track(self.pid, track),
+                        start, end, **args)
+
+    def finalize(self) -> None:
+        """Fold end-of-measurement resource statistics into the metrics."""
+        obs = self.obs
+        if obs is None:
+            return
+        now = self.env.now
+        run = f"{self.pid}:{self.label}"
+        metrics = obs.metrics
+        for disk in self.disks:
+            metrics.gauge("disk.utilization", run=run, disk=disk.disk_id
+                          ).set(disk.queue.utilization(), now)
+        for node, nic in enumerate(self.nics):
+            metrics.gauge("nic.utilization", run=run, node=node
+                          ).set(nic.queue.utilization(), now)
+        metrics.counter("disk.bytes_read", run=run).inc(
+            sum(d.bytes_read for d in self.disks))
+        metrics.counter("disk.bytes_written", run=run).inc(
+            sum(d.bytes_written for d in self.disks))
+        metrics.counter("nic.bytes_transferred", run=run).inc(
+            sum(n.bytes_transferred for n in self.nics))
 
 
 class RCStor:
@@ -86,10 +128,11 @@ class RCStor:
 
     def __init__(self, config: ClusterConfig, layout: Layout, code: ErasureCode,
                  codec: CodecModel = DEFAULT_CODEC, ecpipe: bool = False,
-                 name: str | None = None):
+                 name: str | None = None, obs: Observer | None = None):
         if code.k != config.k or code.r != config.r:
             raise ValueError(f"code {code.name} does not match cluster "
                              f"({config.k},{config.r})")
+        self._obs = obs
         self.config = config
         self.cluster = Cluster(config)
         self.layout = layout
@@ -102,6 +145,12 @@ class RCStor:
         self.rs_profiles = (self.profiles if isinstance(code, RSCode)
                             else ProfileCache(RSCode(config.k, config.r)))
         self._scalar_rebuild = isinstance(code, (RSCode, LRCCode))
+
+    @property
+    def obs(self) -> Observer | None:
+        """This system's observer: the one given at construction, else the
+        process-wide default (see :func:`repro.obs.set_default_observer`)."""
+        return self._obs if self._obs is not None else get_default_observer()
 
     # ------------------------------------------------------------------
     # Ingest
@@ -161,7 +210,8 @@ class RCStor:
     def measure_normal_reads(self, objects: list[StoredObject], busy: bool = False,
                              seed: int = 0, warmup: float = 2.0) -> list[float]:
         """Simulate normal reads; returns per-read seconds."""
-        rt = _Runtime(self.config, seed)
+        rt = _Runtime(self.config, seed, self.obs,
+                      label=f"{self.name}/normal-reads")
         if busy:
             start_foreground_load(
                 rt.env, rt.disks, rt.rng,
@@ -177,8 +227,12 @@ class RCStor:
                 t0 = rt.env.now
                 yield rt.env.process(self._normal_read_proc(rt, obj, client))
                 times.append(rt.env.now - t0)
+                if rt.obs is not None:
+                    rt.span("normal_read", "reads", t0, rt.env.now,
+                            size=obj.size)
 
         rt.env.run(rt.env.process(driver()))
+        rt.finalize()
         return times
 
     # ------------------------------------------------------------------
@@ -228,16 +282,32 @@ class RCStor:
                 size = overlap if is_rs else chunk.stored_bytes
                 cache = self.rs_profiles if is_rs else self.profiles
                 profile = cache.get(failed_role, size)
+                t_read = env.now
                 reads = [env.process(rt.disks[pg.disk_ids[h.role]].read(
                     h.n_ios, h.nbytes, FOREGROUND, span=h.span))
                     for h in profile.helpers]
                 yield env.all_of(reads)
+                if rt.obs is not None:
+                    rt.span("helper_reads", "repair", t_read, env.now,
+                            chunk=i, nbytes=profile.total_read_bytes)
                 if not self.ecpipe:
+                    t_gather = env.now
                     yield env.process(server_nic.transfer(profile.total_read_bytes))
-                yield env.timeout(self._codec_time(profile.output_bytes, is_rs)
-                                  + self.config.repair_rpc_overhead)
+                    if rt.obs is not None:
+                        rt.span("gather", "repair", t_gather, env.now,
+                                chunk=i, nbytes=profile.total_read_bytes)
+                codec_time = self._codec_time(profile.output_bytes, is_rs)
+                rpc = self.config.repair_rpc_overhead
+                yield env.timeout(codec_time + rpc)
+                if rt.obs is not None:
+                    now = env.now
+                    rt.span("decode", "repair", now - rpc - codec_time,
+                            now - rpc, chunk=i, nbytes=profile.output_bytes)
+                    rt.span("locate", "repair", now - rpc, now, chunk=i)
                 ready[i].succeed()
             result.repair_time = env.now - t0
+            if rt.obs is not None:
+                rt.span("repair", "repair", t0, env.now, chunks=len(chunks))
 
         def transfer_proc():
             t_busy = 0.0
@@ -246,6 +316,9 @@ class RCStor:
                 t0 = env.now
                 yield env.process(client.transfer(overlap))
                 t_busy += env.now - t0
+                if rt.obs is not None:
+                    rt.span("transfer", "transfer", t0, env.now,
+                            chunk=i, nbytes=overlap)
             result.transfer_time = t_busy
 
         env.process(repair_proc())
@@ -293,6 +366,8 @@ class RCStor:
         def repair_proc():
             t0 = env.now
             if missing:
+                gathered_bytes = missing_bytes
+                t_read = env.now
                 if self._scalar_rebuild:
                     # Rebuild rows from strips already being fetched plus
                     # parity strips covering the failed disk's share.
@@ -304,8 +379,15 @@ class RCStor:
                         extra.append(env.process(rt.disks[pg.disk_ids[local]].read(
                             1, missing_bytes, FOREGROUND)))
                     yield env.all_of(list(available_done.values()) + extra)
+                    if rt.obs is not None:
+                        rt.span("helper_reads", "repair", t_read, env.now,
+                                nbytes=missing_bytes)
                     if not self.ecpipe:
+                        t_gather = env.now
                         yield env.process(server_nic.transfer(missing_bytes))
+                        if rt.obs is not None:
+                            rt.span("gather", "repair", t_gather, env.now,
+                                    nbytes=missing_bytes)
                 else:
                     # Regenerating code: batched sub-chunk reads from d helpers.
                     batch: dict[int, list[int]] = {}
@@ -320,16 +402,32 @@ class RCStor:
                         ios, nbytes, FOREGROUND, span=span))
                         for role, (ios, nbytes, span) in batch.items()]
                     yield env.all_of(reads)
-                    yield env.process(server_nic.transfer(
-                        sum(b for _, b, _s in batch.values())))
-                yield env.timeout(self._codec_time(missing_bytes, is_rs=False)
-                                  + self.config.repair_rpc_overhead)
+                    gathered_bytes = sum(b for _, b, _s in batch.values())
+                    if rt.obs is not None:
+                        rt.span("helper_reads", "repair", t_read, env.now,
+                                nbytes=gathered_bytes)
+                    t_gather = env.now
+                    yield env.process(server_nic.transfer(gathered_bytes))
+                    if rt.obs is not None:
+                        rt.span("gather", "repair", t_gather, env.now,
+                                nbytes=gathered_bytes)
+                codec_time = self._codec_time(missing_bytes, is_rs=False)
+                rpc = self.config.repair_rpc_overhead
+                yield env.timeout(codec_time + rpc)
+                if rt.obs is not None:
+                    now = env.now
+                    rt.span("decode", "repair", now - rpc - codec_time,
+                            now - rpc, nbytes=missing_bytes)
+                    rt.span("locate", "repair", now - rpc, now)
             repaired.succeed()
             result.repair_time = env.now - t0
+            if rt.obs is not None:
+                rt.span("repair", "repair", t0, env.now,
+                        missing_bytes=missing_bytes)
 
         def transfer_proc():
             t_busy = 0.0
-            for chunk, overlap in chunks:
+            for i, (chunk, overlap) in enumerate(chunks):
                 if overlap == 0:
                     continue
                 if chunk.needs_repair:
@@ -339,6 +437,9 @@ class RCStor:
                 t0 = env.now
                 yield env.process(client.transfer(overlap))
                 t_busy += env.now - t0
+                if rt.obs is not None:
+                    rt.span("transfer", "transfer", t0, env.now,
+                            chunk=i, nbytes=overlap)
             result.transfer_time = t_busy
 
         env.process(repair_proc())
@@ -369,7 +470,8 @@ class RCStor:
         """
         if ranges is not None and len(ranges) != len(objects):
             raise ValueError("need one byte range per object")
-        rt = _Runtime(self.config, seed)
+        rt = _Runtime(self.config, seed, self.obs,
+                      label=f"{self.name}/degraded-reads")
         if busy:
             start_foreground_load(
                 rt.env, rt.disks, rt.rng,
@@ -409,8 +511,13 @@ class RCStor:
                         rt, obj, client, result, byte_range))
                 result.total_time = rt.env.now - t0
                 results.append(result)
+                if rt.obs is not None:
+                    rt.span("degraded_read", "degraded-reads", t0, rt.env.now,
+                            size=obj.size, repair_s=result.repair_time,
+                            transfer_s=result.transfer_time)
 
         rt.env.run(rt.env.process(driver()))
+        rt.finalize()
         return results
 
     # ------------------------------------------------------------------
@@ -492,7 +599,8 @@ class RCStor:
             raise ValueError(f"node {node} out of range")
         first = node * self.config.disks_per_node
         failed = list(range(first, first + self.config.disks_per_node))
-        rt = _Runtime(self.config, seed)
+        rt = _Runtime(self.config, seed, self.obs,
+                      label=f"{self.name}/node-recovery")
         env = rt.env
         tasks: list[_RecoveryTask] = []
         for disk in failed:
@@ -501,6 +609,7 @@ class RCStor:
         start = env.now
         env.run(done)
         makespan = env.now - start
+        rt.finalize()
         total_disk_bytes = sum(d.total_bytes for d in rt.disks)
         total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
         return RecoveryReport(
@@ -579,7 +688,8 @@ class RCStor:
         if len(failed) > self.config.r:
             raise ValueError(f"more than r={self.config.r} concurrent "
                              "failures cannot be guaranteed recoverable")
-        rt = _Runtime(self.config, seed)
+        rt = _Runtime(self.config, seed, self.obs,
+                      label=f"{self.name}/multi-failure-recovery")
         env = rt.env
         tasks: list[_RecoveryTask] = []
         # Single-failure PGs: optimal plans, skipping multi-failure PGs.
@@ -610,6 +720,7 @@ class RCStor:
         start = env.now
         env.run(done)
         makespan = env.now - start
+        rt.finalize()
         total_disk_bytes = sum(d.total_bytes for d in rt.disks)
         total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
         return RecoveryReport(
@@ -653,17 +764,37 @@ class RCStor:
                     return rt.disks[cand]
 
         def run_task(task: _RecoveryTask, server_node: int):
+            track = f"server-{server_node}"
+            t_task = env.now
             reads = [env.process(rt.disks[task.pg.disk_ids[h.role]].read(
                 h.n_ios, h.nbytes, priority, span=h.span))
                 for h in task.profile.helpers]
             yield env.all_of(reads)
+            if rt.obs is not None:
+                rt.span("helper_reads", track, t_task, env.now,
+                        nbytes=task.profile.total_read_bytes)
+            t_gather = env.now
             yield env.process(rt.nics[server_node].transfer(
                 task.profile.total_read_bytes))
-            yield env.timeout(self._codec_time(task.profile.output_bytes,
-                                               task.is_rs)
-                              + self.config.repair_rpc_overhead)
+            if rt.obs is not None:
+                rt.span("gather", track, t_gather, env.now,
+                        nbytes=task.profile.total_read_bytes)
+            codec_time = self._codec_time(task.profile.output_bytes,
+                                          task.is_rs)
+            rpc = self.config.repair_rpc_overhead
+            yield env.timeout(codec_time + rpc)
+            if rt.obs is not None:
+                rt.span("decode", track, env.now - rpc - codec_time,
+                        env.now - rpc, nbytes=task.profile.output_bytes)
+                rt.span("locate", track, env.now - rpc, env.now)
             dest = pick_replacement(task.pg)
+            t_write = env.now
             yield env.process(dest.write(1, task.profile.output_bytes, priority))
+            if rt.obs is not None:
+                rt.span("write", track, t_write, env.now,
+                        nbytes=task.profile.output_bytes, disk=dest.disk_id)
+                rt.span("recovery_task", track, t_task, env.now,
+                        weight=task.weight, nbytes=task.profile.output_bytes)
 
         def server_loop(server_node: int):
             weight_used = [0]
@@ -704,7 +835,8 @@ class RCStor:
         of its PG (background priority), gathers over the server NIC,
         regenerates, and writes to a replacement disk.
         """
-        rt = _Runtime(self.config, seed)
+        rt = _Runtime(self.config, seed, self.obs,
+                      label=f"{self.name}/recovery")
         env = rt.env
         if busy:
             start_foreground_load(
@@ -716,6 +848,7 @@ class RCStor:
                                           weight_limit=weight_limit)
         env.run(done)
         makespan = env.now - start
+        rt.finalize()
         total_disk_bytes = sum(d.total_bytes for d in rt.disks)
         total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
         return RecoveryReport(
@@ -739,7 +872,8 @@ class RCStor:
         ``FOREGROUND`` recovery competes head-on — the ablation for the
         paper's priority-lane design.
         """
-        rt = _Runtime(self.config, seed)
+        rt = _Runtime(self.config, seed, self.obs,
+                      label=f"{self.name}/degraded-during-recovery")
         env = rt.env
         recovery_done, meta = self._start_recovery(rt, failed_disk,
                                                    priority=recovery_priority)
@@ -759,11 +893,16 @@ class RCStor:
                         rt, obj, client, result))
                 result.total_time = env.now - t0
                 results.append(result)
+                if rt.obs is not None:
+                    rt.span("degraded_read", "degraded-reads", t0, env.now,
+                            size=obj.size, repair_s=result.repair_time,
+                            transfer_s=result.transfer_time)
 
         start = env.now
         reads = env.process(reader())
         env.run(env.all_of([recovery_done, reads]))
         makespan = env.now - start
+        rt.finalize()
         total_disk_bytes = sum(d.total_bytes for d in rt.disks)
         total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
         report = RecoveryReport(

@@ -187,14 +187,35 @@ def main(argv: list[str] | None = None) -> int:
                         help="degraded-read sample size")
     parser.add_argument("--workload", choices=["W1", "W2"], default="W1",
                         help="workload for workload-parametric experiments")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="write a Chrome/Perfetto trace-event JSON of "
+                             "every simulation the experiment runs")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics summary (utilization, "
+                             "queue waits) after the experiment")
     args = parser.parse_args(argv)
 
+    obs = None
+    if args.trace or args.metrics:
+        from repro.experiments.common import enable_observability
+
+        obs = enable_observability()
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        t0 = time.time()
-        print(f"===== {name} =====")
-        print(EXPERIMENTS[name](args))
-        print(f"[{time.time() - t0:.1f}s]\n")
+    try:
+        for name in names:
+            t0 = time.time()
+            print(f"===== {name} =====")
+            print(EXPERIMENTS[name](args))
+            print(f"[{time.time() - t0:.1f}s]\n")
+    finally:
+        if obs is not None:
+            from repro.experiments.common import finish_observability
+
+            report = finish_observability(obs, trace_path=args.trace,
+                                          metrics=args.metrics)
+            if report:
+                print(report)
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.core import (
     StripeLayout,
     StripeMaxLayout,
 )
+from repro.obs import Observer, set_default_observer, write_chrome_trace
 from repro.trace import W1, W2, RequestSampler, Workload
 
 KB = 1 << 10
@@ -184,6 +185,29 @@ def scale_to_paper(time: float, setting: WorkloadSetting,
     if bytes_per_disk <= 0:
         return 0.0
     return time * setting.paper_capacity_per_disk / bytes_per_disk
+
+
+def enable_observability() -> Observer:
+    """Create an :class:`~repro.obs.Observer` and install it as the process
+    default, so every system an experiment builds records into it."""
+    obs = Observer()
+    set_default_observer(obs)
+    return obs
+
+
+def finish_observability(obs: Observer, trace_path: str | None = None,
+                         metrics: bool = False) -> str:
+    """Tear down observability: uninstall the default observer, write the
+    Perfetto trace when requested, and return any report text."""
+    set_default_observer(None)
+    parts: list[str] = []
+    if trace_path:
+        n_spans = write_chrome_trace(obs.tracer, trace_path)
+        parts.append(f"wrote {n_spans} spans to {trace_path} "
+                     "(open at https://ui.perfetto.dev)")
+    if metrics:
+        parts.append(obs.summary())
+    return "\n\n".join(parts)
 
 
 def format_table(headers: list[str], rows: list[list]) -> str:

@@ -1,0 +1,52 @@
+"""Simulation-native observability: metrics, sim-time spans, trace export.
+
+The package has three layers:
+
+* :mod:`repro.obs.metrics` — counters, time-weighted gauges and streaming
+  histograms behind a :class:`MetricsRegistry`,
+* :mod:`repro.obs.tracer` — a sim-time span :class:`Tracer` (explicit
+  timestamps, since DES processes interleave on one OS thread),
+* :mod:`repro.obs.export` — Chrome / Perfetto trace-event JSON output.
+
+An :class:`Observer` bundles one registry and one tracer; instrumented code
+(`repro.sim`, `repro.cluster`) accepts an observer and is a no-op without
+one.  ``python -m repro.experiments <exp> --trace out.json --metrics``
+installs a default observer, reruns any experiment with full visibility,
+and exports the result.
+"""
+
+from repro.obs.export import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric_name,
+)
+from repro.obs.observer import (
+    EngineHooks,
+    Observer,
+    get_default_observer,
+    observed,
+    set_default_observer,
+)
+from repro.obs.tracer import Span, SpanHandle, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_metric_name",
+    "EngineHooks",
+    "Observer",
+    "get_default_observer",
+    "observed",
+    "set_default_observer",
+    "Span",
+    "SpanHandle",
+    "Tracer",
+]

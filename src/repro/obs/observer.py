@@ -1,0 +1,81 @@
+"""The Observer: one handle bundling metrics, tracing and engine hooks.
+
+Instrumented code takes an ``obs`` argument defaulting to ``None`` — the
+no-observer case costs one ``is not None`` test per operation, which keeps
+the simulator's benchmark numbers unchanged when observability is off.
+
+A process-wide *default observer* lets entry points (the experiment CLI's
+``--trace`` / ``--metrics`` flags) switch on observability for code paths
+that build their own :class:`~repro.cluster.RCStor` systems internally,
+without threading an argument through every experiment module.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class EngineHooks:
+    """Counts engine activity (wired into :class:`~repro.sim.Environment`)."""
+
+    __slots__ = ("events_scheduled", "process_resumes")
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.events_scheduled = metrics.counter("engine.events_scheduled")
+        self.process_resumes = metrics.counter("engine.process_resumes")
+
+    def on_schedule(self, when: float, event) -> None:
+        """Called whenever the engine enqueues an event."""
+        self.events_scheduled.inc()
+
+    def on_resume(self, process, trigger) -> None:
+        """Called whenever a process coroutine is resumed."""
+        self.process_resumes.inc()
+
+
+class Observer:
+    """A metrics registry plus a span tracer, shared across measurements."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.engine_hooks = EngineHooks(self.metrics)
+
+    def summary(self) -> str:
+        """The registry's plain-text metrics report."""
+        return self.metrics.summary()
+
+
+_default_observer: Observer | None = None
+
+
+def set_default_observer(obs: Observer | None) -> Observer | None:
+    """Install (or clear, with ``None``) the process-wide default observer.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _default_observer
+    previous = _default_observer
+    _default_observer = obs
+    return previous
+
+
+def get_default_observer() -> Observer | None:
+    """The process-wide default observer, or ``None`` when disabled."""
+    return _default_observer
+
+
+@contextmanager
+def observed(obs: Observer | None = None):
+    """Context manager: install ``obs`` (a fresh Observer by default) as the
+    process-wide default for the duration of the block, yielding it."""
+    if obs is None:
+        obs = Observer()
+    previous = set_default_observer(obs)
+    try:
+        yield obs
+    finally:
+        set_default_observer(previous)

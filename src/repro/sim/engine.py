@@ -61,19 +61,22 @@ class Timeout(Event):
 class Process(Event):
     """Wraps a generator; triggers with the generator's return value."""
 
-    __slots__ = ("_gen",)
+    __slots__ = ("_gen", "_hooks")
 
     def __init__(self, env: "Environment", gen: Generator):
         super().__init__(env)
         if not hasattr(gen, "send"):
             raise SimulationError("process target must be a generator")
         self._gen = gen
+        self._hooks = env.trace_hooks
         # Start the process at the current time.
         start = Event(env)
         start.callbacks.append(self._resume)
         start.succeed()
 
     def _resume(self, trigger: Event) -> None:
+        if self._hooks is not None:
+            self._hooks.on_resume(self, trigger)
         try:
             target = self._gen.send(trigger._value)
         except StopIteration as stop:
@@ -117,13 +120,25 @@ class AllOf(Event):
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
 
-    def __init__(self):
+    ``trace_hooks`` (optional) receives ``on_schedule(when, event)`` for
+    every enqueued event and ``on_resume(process, trigger)`` for every
+    process resumption — see :class:`repro.obs.EngineHooks`.  The default
+    ``None`` keeps the hot path free of instrumentation beyond one
+    ``is not None`` test.
+    """
+
+    def __init__(self, trace_hooks=None):
         self.now: float = 0.0
+        self.trace_hooks = trace_hooks
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._pending: set[Event] = set()
+        if trace_hooks is not None:
+            # Shadow the class method so the untraced hot path carries no
+            # per-event hook test at all.
+            self._schedule_at = self._schedule_at_traced
 
     # ------------------------------------------------------------------
     # Scheduling internals
@@ -132,6 +147,12 @@ class Environment:
         self._seq += 1
         heapq.heappush(self._queue, (when, self._seq, event))
         self._pending.add(event)
+
+    def _schedule_at_traced(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+        self._pending.add(event)
+        self.trace_hooks.on_schedule(when, event)
 
     def _schedule_callbacks(self, event: Event) -> None:
         self._schedule_at(self.now, event)

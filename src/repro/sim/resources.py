@@ -11,6 +11,13 @@ Usage inside a process::
 numbers first (FIFO within a priority class) — RCStor's storage servers use
 priority lanes to keep foreground reads ahead of background recovery
 (§5.1, "IO Scheduling").
+
+Every :class:`Request` timestamps its creation and grant, so
+:attr:`Request.queue_wait` reports queueing delay without callers tracking
+sim times by hand.  Passing an :class:`~repro.obs.Observer` (plus a metric
+``kind``/``instance``) records per-priority-lane wait-time histograms and
+time-weighted queue-depth / in-use gauges; without one the only cost is a
+single ``is not None`` test per request/grant/release.
 """
 
 from __future__ import annotations
@@ -24,19 +31,30 @@ from repro.sim.engine import Environment, Event, SimulationError
 class Request(Event):
     """A pending acquisition; triggers when the resource is granted."""
 
-    __slots__ = ("resource", "priority", "granted")
+    __slots__ = ("resource", "priority", "granted", "request_time",
+                 "grant_time")
 
     def __init__(self, env: Environment, resource: "Resource", priority: int):
         super().__init__(env)
         self.resource = resource
         self.priority = priority
         self.granted = False
+        self.request_time = env.now
+        self.grant_time: float | None = None
+
+    @property
+    def queue_wait(self) -> float:
+        """Sim seconds spent queued (grant time − request time)."""
+        if self.grant_time is None:
+            raise SimulationError("request has not been granted yet")
+        return self.grant_time - self.request_time
 
 
 class Resource:
     """A counted resource with a FIFO wait queue."""
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1, obs=None,
+                 kind: str | None = None, instance: str | None = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.env = env
@@ -44,9 +62,19 @@ class Resource:
         self.in_use = 0
         self._waiters: list[tuple[int, int, Request]] = []
         self._seq = count()
-        # Utilization accounting: integral of in_use over time.
+        # Utilization accounting: integral of in_use over the lifetime.
         self._usage_integral = 0.0
+        self._created = env.now
         self._last_change = env.now
+        # Optional metrics (per-lane waits, queue depth, units in use).
+        self._obs = obs if (obs is not None and kind is not None) else None
+        if self._obs is not None:
+            self._kind = kind
+            labels = {"dev": instance} if instance is not None else {}
+            self._depth_gauge = obs.metrics.gauge(f"{kind}.queue_depth",
+                                                  **labels)
+            self._in_use_gauge = obs.metrics.gauge(f"{kind}.in_use", **labels)
+            self._wait_hists: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     def _account(self) -> None:
@@ -55,10 +83,15 @@ class Resource:
         self._last_change = now
 
     def utilization(self) -> float:
-        """Mean busy fraction (0..capacity) since creation."""
+        """Mean busy fraction (0..1) over the resource's lifetime.
+
+        The lifetime runs from the resource's creation to ``env.now``, so
+        resources created mid-simulation are not diluted by time before
+        they existed.
+        """
         self._account()
-        elapsed = self.env.now
-        if elapsed == 0:
+        elapsed = self.env.now - self._created
+        if elapsed <= 0:
             return 0.0
         return self._usage_integral / elapsed / self.capacity
 
@@ -75,6 +108,8 @@ class Resource:
             self._grant(req)
         else:
             heapq.heappush(self._waiters, (self._key(priority), next(self._seq), req))
+            if self._obs is not None:
+                self._depth_gauge.set(len(self._waiters), self.env.now)
         return req
 
     def _key(self, priority: int) -> int:
@@ -84,7 +119,21 @@ class Resource:
         self._account()
         self.in_use += 1
         req.granted = True
+        req.grant_time = self.env.now
+        if self._obs is not None:
+            self._observe_grant(req)
         req.succeed(req)
+
+    def _observe_grant(self, req: Request) -> None:
+        now = self.env.now
+        hist = self._wait_hists.get(req.priority)
+        if hist is None:
+            hist = self._obs.metrics.histogram(f"{self._kind}.queue_wait",
+                                               lane=req.priority)
+            self._wait_hists[req.priority] = hist
+        hist.observe(now - req.request_time)
+        self._depth_gauge.set(len(self._waiters), now)
+        self._in_use_gauge.set(self.in_use, now)
 
     def release(self, req: Request) -> None:
         """Release a granted request, waking the next waiter."""
@@ -93,6 +142,8 @@ class Resource:
         req.granted = False
         self._account()
         self.in_use -= 1
+        if self._obs is not None:
+            self._in_use_gauge.set(self.in_use, self.env.now)
         if self._waiters and self.in_use < self.capacity:
             _key, _seq, nxt = heapq.heappop(self._waiters)
             self._grant(nxt)

@@ -1,0 +1,112 @@
+"""Tests for the span tracer and the Chrome/Perfetto exporter."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer, Tracer, chrome_trace, observed, write_chrome_trace
+from repro.obs.observer import get_default_observer, set_default_observer
+
+
+def test_process_and_track_registration():
+    t = Tracer()
+    p0 = t.process("run-a")
+    p1 = t.process("run-b")
+    assert (p0, p1) == (0, 1)
+    assert t.track(p0, "repair") == 0
+    assert t.track(p0, "transfer") == 1
+    assert t.track(p0, "repair") == 0       # cached
+    assert t.track(p1, "repair") == 0       # tids are per-process
+    assert (p0, 1, "transfer") in t.tracks
+
+
+def test_complete_span_records_interval():
+    t = Tracer()
+    pid = t.process("run")
+    tid = t.track(pid, "work")
+    span = t.complete("decode", pid, tid, 1.0, 3.5, nbytes=42)
+    assert span.duration == pytest.approx(2.5)
+    assert span.end == pytest.approx(3.5)
+    assert span.args == {"nbytes": 42}
+    assert t.spans_named("decode") == [span]
+
+
+def test_begin_end_span():
+    t = Tracer()
+    pid = t.process("run")
+    handle = t.begin("read", pid, t.track(pid, "io"), 2.0, disk=3)
+    span = handle.end(5.0, nbytes=7)
+    assert span.start == 2.0 and span.duration == pytest.approx(3.0)
+    assert span.args == {"disk": 3, "nbytes": 7}
+    assert len(t) == 1
+
+
+def test_span_cannot_end_before_start():
+    t = Tracer()
+    with pytest.raises(ValueError):
+        t.complete("bad", 0, 0, 5.0, 4.0)
+
+
+def test_chrome_trace_structure():
+    t = Tracer()
+    pid = t.process("Geo-4M/degraded")
+    tid = t.track(pid, "repair")
+    t.complete("helper_reads", pid, tid, 0.25, 0.75, nbytes=10)
+    t.counter(pid, "queue_depth", 0.5, 3)
+    doc = chrome_trace(t)
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {(e["name"], e["args"].get("name")) for e in meta}
+    assert ("process_name", "Geo-4M/degraded") in names
+    assert ("thread_name", "repair") in names
+    (x,) = [e for e in events if e["ph"] == "X"]
+    assert x["name"] == "helper_reads"
+    assert x["ts"] == pytest.approx(0.25e6)      # sim seconds -> us
+    assert x["dur"] == pytest.approx(0.5e6)
+    assert x["args"] == {"nbytes": 10}
+    (c,) = [e for e in events if e["ph"] == "C"]
+    assert c["args"] == {"queue_depth": 3}
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    t = Tracer()
+    pid = t.process("run")
+    t.complete("span", pid, t.track(pid, "t"), 0.0, 1.0)
+    out = tmp_path / "trace.json"
+    assert write_chrome_trace(t, str(out)) == 1
+    loaded = json.loads(out.read_text())
+    assert isinstance(loaded["traceEvents"], list)
+    assert any(e.get("ph") == "X" for e in loaded["traceEvents"])
+
+
+def test_default_observer_context():
+    assert get_default_observer() is None
+    with observed() as obs:
+        assert isinstance(obs, Observer)
+        assert get_default_observer() is obs
+        with observed(Observer()) as inner:
+            assert get_default_observer() is inner
+        assert get_default_observer() is obs
+    assert get_default_observer() is None
+
+
+def test_set_default_observer_returns_previous():
+    obs = Observer()
+    assert set_default_observer(obs) is None
+    assert set_default_observer(None) is obs
+
+
+def test_engine_hooks_count_into_registry():
+    from repro.sim import Environment
+
+    obs = Observer()
+    env = Environment(trace_hooks=obs.engine_hooks)
+
+    def proc():
+        yield env.timeout(1)
+        yield env.timeout(2)
+
+    env.run(env.process(proc()))
+    assert obs.metrics.counter("engine.events_scheduled").value > 0
+    assert obs.metrics.counter("engine.process_resumes").value >= 2

@@ -248,6 +248,121 @@ def test_nested_all_of():
     assert values[0] == [1, 2] and values[1] == 3
 
 
+def test_all_of_over_already_triggered_and_drained_events():
+    """AllOf must not wait forever on events whose callbacks already ran."""
+    env = Environment()
+    early1 = env.event()
+    early1.succeed("one")
+    early2 = env.event()
+    early2.succeed("two")
+    env.run()  # drain both callbacks
+
+    def parent():
+        values = yield AllOf(env, [early1, early2])
+        return values
+
+    assert env.run(env.process(parent())) == ["one", "two"]
+
+
+def test_all_of_mixes_drained_and_pending_events():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+    env.run()
+
+    def child():
+        yield env.timeout(2)
+        return "late"
+
+    def parent():
+        values = yield AllOf(env, [done, env.process(child())])
+        return (env.now, values)
+
+    assert env.run(env.process(parent())) == (2.0, ["early", "late"])
+
+
+def test_run_until_deadline_clamps_now_when_queue_drains_early():
+    """run(until=t) must land the clock exactly on t even if the last
+    event fires earlier."""
+    env = Environment()
+    env.process(_sleep(env, 1.0))
+    env.run(until=7.5)
+    assert env.now == pytest.approx(7.5)
+
+
+def test_run_until_deadline_leaves_future_events_pending():
+    env = Environment()
+    log = []
+
+    def late():
+        yield env.timeout(10)
+        log.append(env.now)
+
+    env.process(late())
+    env.run(until=4.0)
+    assert env.now == pytest.approx(4.0)
+    assert log == []
+    env.run()  # the pending event still fires afterwards
+    assert log == [10.0]
+
+
+def test_run_until_zero_deadline():
+    env = Environment()
+    env.process(_sleep(env, 3))
+    env.run(until=0.0)
+    assert env.now == 0.0
+
+
+def test_rehop_passes_value_of_drained_event():
+    """The re-hop path must resume with the drained event's value."""
+    env = Environment()
+    gate = env.event()
+    gate.succeed({"payload": 17})
+    env.run()
+
+    def waiter():
+        value = yield gate
+        second = yield gate  # re-hopping twice also works
+        return (value, second)
+
+    assert env.run(env.process(waiter())) == ({"payload": 17}, {"payload": 17})
+
+
+def test_rehop_preserves_clock():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("v")
+    env.run()
+
+    def waiter():
+        yield env.timeout(3)
+        yield gate        # re-hop happens "now", not at trigger time
+        return env.now
+
+    assert env.run(env.process(waiter())) == pytest.approx(3.0)
+
+
+def test_trace_hooks_observe_schedule_and_resume():
+    calls = {"schedule": 0, "resume": 0}
+
+    class Hooks:
+        def on_schedule(self, when, event):
+            calls["schedule"] += 1
+
+        def on_resume(self, process, trigger):
+            calls["resume"] += 1
+
+    env = Environment(trace_hooks=Hooks())
+
+    def proc():
+        yield env.timeout(1)
+        yield env.timeout(2)
+
+    env.run(env.process(proc()))
+    assert calls["schedule"] >= 3   # start event + two timeouts
+    assert calls["resume"] == 3     # two resumes + final StopIteration
+
+
 def test_many_processes_scale():
     """The heap scheduler handles thousands of concurrent processes."""
     env = Environment()

@@ -161,3 +161,135 @@ def test_queue_length():
 def test_utilization_at_time_zero():
     env = Environment()
     assert Resource(env).utilization() == 0.0
+
+
+def test_utilization_of_resource_created_mid_simulation():
+    """Regression: utilization must divide by the resource's lifetime, not
+    by ``env.now`` — a resource created at t=6 that is busy for all of its
+    6-second life is 100% utilized, not 50%."""
+    env = Environment()
+    env.run(env.process(_sleep(env, 6)))
+    assert env.now == pytest.approx(6.0)
+    disk = Resource(env)
+
+    def job():
+        req = disk.request()
+        yield req
+        yield env.timeout(6)
+        disk.release(req)
+
+    env.run(env.process(job()))
+    assert disk.utilization() == pytest.approx(1.0)
+
+
+def _sleep(env, delay):
+    yield env.timeout(delay)
+
+
+def test_utilization_mid_simulation_half_busy():
+    env = Environment()
+    env.run(env.process(_sleep(env, 10)))
+    disk = Resource(env)
+
+    def job():
+        req = disk.request()
+        yield req
+        yield env.timeout(3)
+        disk.release(req)
+        yield env.timeout(3)
+
+    env.run(env.process(job()))
+    assert disk.utilization() == pytest.approx(0.5)
+
+
+def test_queue_wait_fifo():
+    """queue_wait = grant time − request time, without hand-tracking."""
+    env = Environment()
+    disk = Resource(env)
+    waits = {}
+
+    def job(name, service):
+        req = disk.request()
+        yield req
+        waits[name] = req.queue_wait
+        yield env.timeout(service)
+        disk.release(req)
+
+    env.process(job("a", 2))
+    env.process(job("b", 3))
+    env.process(job("c", 1))
+    env.run()
+    assert waits["a"] == pytest.approx(0.0)
+    assert waits["b"] == pytest.approx(2.0)   # behind a
+    assert waits["c"] == pytest.approx(5.0)   # behind a and b
+
+
+def test_queue_wait_priority_lanes():
+    """Foreground jumps the background queue, so it waits less despite
+    arriving later."""
+    env = Environment()
+    disk = PriorityResource(env)
+    waits = {}
+
+    def job(name, priority, submit_at):
+        yield env.timeout(submit_at)
+        req = disk.request(priority)
+        yield req
+        waits[name] = req.queue_wait
+        yield env.timeout(10)
+        disk.release(req)
+
+    env.process(job("first", 5, 0))
+    env.process(job("background", 5, 1))
+    env.process(job("foreground", 0, 2))
+    env.run()
+    assert waits["first"] == pytest.approx(0.0)
+    assert waits["foreground"] == pytest.approx(8.0)    # served at t=10
+    assert waits["background"] == pytest.approx(19.0)   # served at t=20
+
+
+def test_queue_wait_before_grant_raises():
+    env = Environment()
+    disk = Resource(env)
+    disk.request()
+    queued = disk.request()
+    with pytest.raises(SimulationError):
+        _ = queued.queue_wait
+
+
+def test_queue_wait_survives_release():
+    env = Environment()
+    disk = Resource(env)
+    req = disk.request()
+    disk.release(req)
+    assert req.queue_wait == pytest.approx(0.0)
+
+
+def test_resource_records_metrics_when_observed():
+    from repro.obs import Observer
+
+    obs = Observer()
+    env = Environment()
+    disk = PriorityResource(env, obs=obs, kind="disk", instance="0")
+
+    def job(priority, service):
+        req = disk.request(priority)
+        yield req
+        yield env.timeout(service)
+        disk.release(req)
+
+    env.process(job(0, 2))
+    env.process(job(1, 3))
+    env.run()
+    fg = obs.metrics.get("disk.queue_wait", lane=0)
+    bg = obs.metrics.get("disk.queue_wait", lane=1)
+    assert fg.count == 1 and fg.max == pytest.approx(0.0)
+    assert bg.count == 1 and bg.max == pytest.approx(2.0)
+    in_use = obs.metrics.get("disk.in_use", dev="0")
+    assert in_use.max == 1 and in_use.value == 0
+
+
+def test_unobserved_resource_has_no_metric_attrs():
+    env = Environment()
+    disk = Resource(env)
+    assert disk._obs is None  # the disabled path stays a single None test
