@@ -1,0 +1,49 @@
+"""simlint: DES-aware static analysis + runtime invariants for this repo.
+
+The package has two halves:
+
+* **Static analysis** (``python -m repro.analysis src/``): an AST-based
+  linter whose rules encode the properties the discrete-event simulator and
+  the codec stack rely on but ordinary tests do not guard — determinism
+  (no wall clock, no unseeded RNG, no iteration over unordered sets that
+  feeds event scheduling), process-generator hygiene, resource
+  acquire/release pairing by CFG walk, and import layering.  Rules are
+  suppressible per line with ``# simlint: disable=RULE`` and some are
+  autofixable (``--fix``).
+
+* **Runtime invariants** (:mod:`repro.analysis.invariants`): an opt-in
+  :class:`InvariantChecker` hooked through the :mod:`repro.obs` observer —
+  byte-conservation checks on every repair profile the simulator consumes,
+  a monotonic sim-clock assertion on event scheduling, and an end-of-run
+  audit that no disk/NIC grant leaked.  Enabled by the experiment CLI's
+  ``--check-invariants`` flag.
+"""
+
+from repro.analysis.linter import (
+    LintResult,
+    Violation,
+    layer_of,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    attach_invariant_checker,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "attach_invariant_checker",
+    "layer_of",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

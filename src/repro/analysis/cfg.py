@@ -1,0 +1,323 @@
+"""Control-flow walk for resource acquire/release pairing (RES301/RES302).
+
+The analysis is a path-sensitive abstract interpretation over a function's
+statements.  For each acquire site (``req = X.request(...)`` or
+``.acquire(...)``) the tracked request walks a tiny state machine:
+
+    NONE --request()--> PENDING --yield req--> OPEN --release(req)--> CLOSED
+
+* **RES301** fires when any path reaches a function exit (fall-through,
+  ``return`` or ``raise``) with the request still PENDING or OPEN — the
+  grant (or queued waiter) leaks.
+* **RES302** fires when an OPEN grant is held across a ``yield`` (a sim
+  wait) that is not protected by a ``try``/``finally`` releasing it or a
+  ``with`` block — a fault injected during the wait would leak the grant.
+
+Ownership escapes end the analysis conservatively: returning the request,
+passing it to a call other than ``release``/``cancel``, aliasing or storing
+it all mark the request CLOSED (someone else is now responsible), which
+keeps the rule free of false positives on the resource layer itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+ACQUIRE_METHODS = frozenset({"request", "acquire"})
+RELEASE_METHODS = frozenset({"release", "cancel"})
+
+# Abstract states of the tracked request.
+PENDING = "pending"   # requested, not yet granted
+OPEN = "open"         # granted, not yet released
+CLOSED = "closed"     # released / cancelled / ownership escaped
+
+
+@dataclass(frozen=True)
+class AcquireSite:
+    """One ``var = <recv>.request(...)`` statement inside a function."""
+
+    var: str
+    stmt: ast.stmt
+    call: ast.Call
+    managed: bool  # acquired as a `with` context manager
+
+
+@dataclass
+class LeakFinding:
+    """Outcome of analysing one acquire site."""
+
+    site: AcquireSite
+    leak_exits: list[int] = field(default_factory=list)      # RES301 lines
+    unprotected_waits: list[int] = field(default_factory=list)  # RES302 lines
+
+
+def _own_statements(fn: ast.AST):
+    """Every statement inside ``fn`` but outside nested function defs."""
+    todo = list(ast.iter_child_nodes(fn))
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def find_acquire_sites(fn: ast.FunctionDef) -> list[AcquireSite]:
+    """Acquire sites assigned to a simple name inside this function."""
+    sites: list[AcquireSite] = []
+    for stmt in _own_statements(fn):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and _is_acquire_call(stmt.value):
+            sites.append(AcquireSite(stmt.targets[0].id, stmt, stmt.value,
+                                     managed=False))
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if _is_acquire_call(item.context_expr) and \
+                        isinstance(item.optional_vars, ast.Name):
+                    sites.append(AcquireSite(item.optional_vars.id, stmt,
+                                             item.context_expr, managed=True))
+    return sites
+
+
+def _is_acquire_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ACQUIRE_METHODS)
+
+
+def _names_in(node: ast.AST, name: str) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == name
+               for n in ast.walk(node))
+
+
+class _Walker:
+    """Walks one function body tracking one acquire site."""
+
+    def __init__(self, site: AcquireSite, fn: ast.FunctionDef):
+        self.site = site
+        self.fn = fn
+        self.finding = LeakFinding(site)
+        self._loop_breaks: list[set[str]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> LeakFinding:
+        states = self._walk_body(self.fn.body, {None}, protected=False)
+        live = {s for s in states if s in (PENDING, OPEN)}
+        if live:
+            last = self.fn.body[-1]
+            self._record_leak(getattr(last, "end_lineno", last.lineno))
+        return self.finding
+
+    def _record_leak(self, line: int) -> None:
+        if line not in self.finding.leak_exits:
+            self.finding.leak_exits.append(line)
+
+    def _record_wait(self, line: int) -> None:
+        if line not in self.finding.unprotected_waits:
+            self.finding.unprotected_waits.append(line)
+
+    # ------------------------------------------------------------------
+    def _walk_body(self, stmts, states: set, protected: bool) -> set:
+        """Returns the possible states at fall-through of ``stmts``.
+
+        An empty returned set means no path falls through (all paths
+        return, raise, break or continue).
+        """
+        for stmt in stmts:
+            if not states:
+                return states
+            states = self._walk_stmt(stmt, states, protected)
+        return states
+
+    def _walk_stmt(self, stmt, states: set, protected: bool) -> set:
+        var = self.site.var
+
+        if stmt is self.site.stmt and not self.site.managed:
+            return {PENDING}
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # A nested function capturing the request takes ownership.
+            if _names_in(stmt, var):
+                return {CLOSED}
+            return states
+
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None and _names_in(stmt.value, var):
+                return set()  # ownership returned to the caller
+            self._exit(states, protected, stmt.lineno)
+            return set()
+
+        if isinstance(stmt, ast.Raise):
+            self._exit(states, protected, stmt.lineno)
+            return set()
+
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_breaks:
+                self._loop_breaks[-1] |= states
+            return set()
+
+        if isinstance(stmt, ast.If):
+            out = self._walk_body(stmt.body, set(states), protected)
+            out |= self._walk_body(stmt.orelse, set(states), protected)
+            return out
+
+        if isinstance(stmt, (ast.For, ast.While)):
+            return self._walk_loop(stmt, states, protected)
+
+        if isinstance(stmt, ast.Try):
+            return self._walk_try(stmt, states, protected)
+
+        if isinstance(stmt, ast.With):
+            if stmt is self.site.stmt and self.site.managed:
+                # `with X.request() as req:` — released by __exit__ on
+                # every path, including faults; body runs with the grant.
+                self._walk_body(stmt.body, {OPEN}, protected=True)
+                return {CLOSED}
+            states = self._scan_expr_stmt(stmt, states, protected,
+                                          exprs=[i.context_expr
+                                                 for i in stmt.items])
+            return self._walk_body(stmt.body, states, protected)
+
+        # Simple statements: scan the expression tree for events.
+        return self._scan_expr_stmt(stmt, states, protected)
+
+    # ------------------------------------------------------------------
+    def _exit(self, states: set, protected: bool, line: int) -> None:
+        """A function exit: leak unless protected by a releasing finally."""
+        if protected:
+            return
+        if any(s in (PENDING, OPEN) for s in states):
+            self._record_leak(line)
+
+    def _walk_loop(self, stmt, states: set, protected: bool) -> set:
+        self._loop_breaks.append(set())
+        if isinstance(stmt, ast.For):
+            states = self._scan_expr_stmt(stmt, states, protected,
+                                          exprs=[stmt.iter])
+        elif stmt.test is not None:
+            states = self._scan_expr_stmt(stmt, states, protected,
+                                          exprs=[stmt.test])
+        seen = set(states)
+        frontier = set(states)
+        for _ in range(4):  # tiny fixpoint: the domain has three values
+            out = self._walk_body(stmt.body, set(frontier), protected)
+            if out <= seen:
+                break
+            seen |= out
+            frontier = out
+        breaks = self._loop_breaks.pop()
+        infinite = (isinstance(stmt, ast.While)
+                    and isinstance(stmt.test, ast.Constant)
+                    and bool(stmt.test.value))
+        fall = set() if infinite else set(seen)
+        fall = self._walk_body(stmt.orelse, fall, protected) if stmt.orelse \
+            else fall
+        return fall | breaks
+
+    def _walk_try(self, stmt: ast.Try, states: set, protected: bool) -> set:
+        releases_here = any(self._stmt_releases(s) for s in stmt.finalbody)
+        inner_protected = protected or releases_here
+        ft_body = self._walk_body(stmt.body, set(states), inner_protected)
+        # A handler can be entered from any point in the body: approximate
+        # its input as everything observable at the body's boundaries.
+        handler_in = set(states) | ft_body
+        ft = set(ft_body)
+        for handler in stmt.handlers:
+            ft |= self._walk_body(handler.body, set(handler_in),
+                                  inner_protected)
+        if stmt.orelse:
+            ft = self._walk_body(stmt.orelse, ft, inner_protected)
+        if stmt.finalbody:
+            ft = self._walk_body(stmt.finalbody, ft if ft else set(states),
+                                 protected)
+        return ft
+
+    def _stmt_releases(self, stmt: ast.stmt) -> bool:
+        """Whether a statement (sub)tree releases/cancels the tracked var."""
+        for node in ast.walk(stmt):
+            if self._is_release_call(node):
+                return True
+        return False
+
+    def _is_release_call(self, node: ast.AST) -> bool:
+        var = self.site.var
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in RELEASE_METHODS):
+            return False
+        # recv.release(var) or var.release()
+        if any(isinstance(a, ast.Name) and a.id == var for a in node.args):
+            return True
+        return isinstance(func.value, ast.Name) and func.value.id == var
+
+    # ------------------------------------------------------------------
+    def _scan_expr_stmt(self, stmt, states: set, protected: bool,
+                        exprs: list | None = None) -> set:
+        """Apply the events of one simple statement to the state set."""
+        var = self.site.var
+        nodes = []
+        if exprs is None:
+            nodes = list(ast.walk(stmt))
+        else:
+            for e in exprs:
+                nodes.extend(ast.walk(e))
+
+        released = any(self._is_release_call(n) for n in nodes)
+        grant_yield = any(isinstance(n, ast.Yield)
+                          and isinstance(n.value, ast.Name)
+                          and n.value.id == var for n in nodes)
+        other_yield = any(isinstance(n, (ast.Yield, ast.YieldFrom))
+                          and not (isinstance(n, ast.Yield)
+                                   and isinstance(n.value, ast.Name)
+                                   and n.value.id == var)
+                          for n in nodes)
+        escaped = self._escapes(nodes)
+
+        out = set()
+        for state in states:
+            s = state
+            if s == PENDING and grant_yield:
+                s = OPEN
+            if s == OPEN and other_yield and not protected:
+                self._record_wait(stmt.lineno)
+            if released or escaped:
+                s = CLOSED
+            out.add(s)
+        return out
+
+    def _escapes(self, nodes) -> bool:
+        """Ownership escape: the bare request used outside grant/release."""
+        var = self.site.var
+        for node in nodes:
+            if isinstance(node, ast.Call) and not self._is_release_call(node):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id == var:
+                        return True
+            if isinstance(node, ast.Assign):
+                if isinstance(node.value, ast.Name) and node.value.id == var:
+                    return True  # aliased
+                for target in node.targets:
+                    if not isinstance(target, ast.Name) and \
+                            _names_in(target, var):
+                        return True  # stored into a container/attribute
+            if isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+                if any(isinstance(e, ast.Name) and e.id == var
+                       for e in ast.iter_child_nodes(node)):
+                    return True
+        return False
+
+
+def analyse_function(fn: ast.FunctionDef) -> list[LeakFinding]:
+    """Run the acquire/release analysis on every acquire site of ``fn``."""
+    findings = []
+    for site in find_acquire_sites(fn):
+        if site.managed:
+            continue  # `with` releases on every path by construction
+        findings.append(_Walker(site, fn).run())
+    return findings

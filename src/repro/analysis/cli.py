@@ -1,0 +1,75 @@
+"""The simlint command line (``python -m repro.analysis`` / ``simlint``).
+
+Exit status: 0 when every checked file is clean, 1 when violations remain
+(after ``--fix``, only unfixed violations count), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.analysis.linter import apply_fixes, iter_python_files, lint_file
+from repro.analysis.rules import ALL_RULES
+
+
+def _list_rules() -> str:
+    lines = ["simlint rules (suppress with `# simlint: disable=ID`):", ""]
+    for rule in ALL_RULES:
+        fix = "  [autofix]" if rule.autofixable else ""
+        lines.append(f"  {rule.id}{fix}")
+        lines.append(f"      {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="DES-aware static analysis for the repro codebase.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical autofixes in place")
+    parser.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    files = iter_python_files(args.paths)
+    if not files:
+        print(f"simlint: no python files under {args.paths}", file=sys.stderr)
+        return 2
+
+    remaining = []
+    fixed = 0
+    for path in files:
+        violations = lint_file(path, select)
+        if args.fix and any(v.fix for v in violations):
+            fixed += apply_fixes(path, violations)
+            violations = lint_file(path, select)  # re-lint the fixed file
+        remaining.extend(violations)
+
+    for violation in remaining:
+        print(violation.format())
+    if fixed:
+        print(f"simlint: fixed {fixed} violation(s)")
+    if remaining:
+        by_rule = Counter(v.rule for v in remaining)
+        summary = ", ".join(f"{r}×{n}" for r, n in sorted(by_rule.items()))
+        print(f"simlint: {len(remaining)} violation(s) in "
+              f"{len(files)} file(s) ({summary})")
+        return 1
+    print(f"simlint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Linter driver: file walking, layer mapping, suppressions, reporting.
+
+A *layer* is the ``repro`` subpackage a file belongs to (``sim``,
+``cluster``, ``codes``, ...); rules scope themselves to layers, so the
+wall-clock rule fires inside the simulator but not in the experiment CLI
+(whose ``time.time()`` progress timer is legitimate).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical source rewrite: replace [line, col)..(end_line, end_col)."""
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix: Fix | None = None
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` (the CLI's output line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintResult:
+    """Violations plus bookkeeping for one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+#: ``# simlint: disable=RULE1,RULE2`` (line scope) /
+#: ``# simlint: disable-file=RULE1,RULE2`` (whole file).
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?P<file>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+class Suppressions:
+    """Per-line and per-file rule suppressions parsed from comments."""
+
+    def __init__(self, source: str):
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            rules = {r.strip().upper() for r in m.group("rules").split(",")}
+            if m.group("file"):
+                self.file_wide |= rules
+            else:
+                self.by_line.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether the rule is disabled at the given line."""
+        if rule in self.file_wide or "ALL" in self.file_wide:
+            return True
+        at_line = self.by_line.get(line, ())
+        return rule in at_line or "ALL" in at_line
+
+
+def layer_of(path: str | Path) -> str | None:
+    """The ``repro`` subpackage a path belongs to (``None`` outside repro).
+
+    ``src/repro/sim/engine.py`` -> ``"sim"``; ``src/repro/__init__.py`` ->
+    ``""`` (package root); ``tools/foo.py`` -> ``None``.
+    """
+    parts = Path(path).parts
+    for i, part in enumerate(parts):
+        if part == "repro":
+            rest = parts[i + 1:]
+            if not rest or (len(rest) == 1 and rest[0].endswith(".py")):
+                return ""
+            return rest[0]
+    return None
+
+
+def lint_source(source: str, path: str | Path,
+                select: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one source string as if it lived at ``path``."""
+    from repro.analysis.rules import ALL_RULES
+
+    path = str(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation("E999", path, exc.lineno or 1, exc.offset or 0,
+                          f"syntax error: {exc.msg}")]
+    layer = layer_of(path)
+    suppressions = Suppressions(source)
+    selected = {r.upper() for r in select} if select is not None else None
+    out: list[Violation] = []
+    for rule in ALL_RULES:
+        if selected is not None and rule.id not in selected:
+            continue
+        if not rule.applies_to(layer):
+            continue
+        for violation in rule.check(tree, source, path):
+            if not suppressions.is_suppressed(violation.rule, violation.line):
+                out.append(violation)
+    out.sort(key=lambda v: (v.line, v.col, v.rule))
+    return out
+
+
+def lint_file(path: str | Path,
+              select: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one file on disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path, select)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: Sequence[str | Path],
+               select: Iterable[str] | None = None) -> LintResult:
+    """Lint every ``.py`` file under the given paths."""
+    result = LintResult()
+    for f in iter_python_files(paths):
+        result.violations.extend(lint_file(f, select))
+        result.files_checked += 1
+    return result
+
+
+def apply_fixes(path: str | Path, violations: list[Violation]) -> int:
+    """Apply the autofixes among ``violations`` to ``path`` in place.
+
+    Fixes are applied bottom-up so earlier offsets stay valid; returns the
+    number of fixes applied.
+    """
+    fixes = [v.fix for v in violations if v.fix is not None
+             and str(v.path) == str(path)]
+    if not fixes:
+        return 0
+    lines = Path(path).read_text(encoding="utf-8").splitlines(keepends=True)
+    for fix in sorted(fixes, key=lambda f: (f.line, f.col), reverse=True):
+        if fix.line != fix.end_line:
+            # Multi-line spans: splice the raw region.
+            head = lines[fix.line - 1][:fix.col]
+            tail = lines[fix.end_line - 1][fix.end_col:]
+            lines[fix.line - 1:fix.end_line] = [head + fix.replacement + tail]
+        else:
+            text = lines[fix.line - 1]
+            lines[fix.line - 1] = (text[:fix.col] + fix.replacement
+                                   + text[fix.end_col:])
+    Path(path).write_text("".join(lines), encoding="utf-8")
+    return len(fixes)

@@ -116,8 +116,10 @@ class Disk:
         """Process: queue for the disk and perform a (batched) read."""
         req = self.queue.request(priority)
         yield req
-        yield self.env.timeout(self.model.read_time(n_ios, nbytes, span))
-        self.queue.release(req)
+        try:
+            yield self.env.timeout(self.model.read_time(n_ios, nbytes, span))
+        finally:
+            self.queue.release(req)
         self.bytes_read += nbytes
         self.n_read_ios += n_ios
 
@@ -125,8 +127,10 @@ class Disk:
         """Process: queue for the disk and perform a (batched) write."""
         req = self.queue.request(priority)
         yield req
-        yield self.env.timeout(self.model.write_time(n_ios, nbytes))
-        self.queue.release(req)
+        try:
+            yield self.env.timeout(self.model.write_time(n_ios, nbytes))
+        finally:
+            self.queue.release(req)
         self.bytes_written += nbytes
         self.n_write_ios += n_ios
 

@@ -21,10 +21,19 @@ def start_foreground_load(env: Environment, disks: list[Disk],
                           rng: np.random.Generator,
                           utilization: float = 0.5,
                           mean_read_bytes: int = 16 * MB,
-                          mean_ios_per_read: int | None = None) -> None:
-    """Arm one generator per disk; runs for the lifetime of ``env``."""
+                          mean_ios_per_read: int | None = None,
+                          invariants=None) -> None:
+    """Arm one generator per disk; runs for the lifetime of ``env``.
+
+    The generators are open-ended, so at the end of a measurement they may
+    legitimately hold disk grants mid-read; passing the runtime's
+    ``invariants`` checker exempts this environment from the end-of-run
+    resource-leak audit.
+    """
     if not 0 < utilization < 1:
         raise ValueError("utilization must be in (0, 1)")
+    if invariants is not None:
+        invariants.exempt_env(env)
     if mean_ios_per_read is None:
         mean_ios_per_read = max(1, mean_read_bytes // (16 * MB) + 1)
     for disk in disks:

@@ -80,7 +80,8 @@ def measure_puts(system: RCStor, sizes, busy: bool = False,
         start_foreground_load(
             rt.env, rt.disks, rt.rng,
             utilization=system.config.foreground_utilization,
-            mean_read_bytes=system.config.foreground_read_bytes)
+            mean_read_bytes=system.config.foreground_read_bytes,
+            invariants=rt.invariants)
     latencies: list[float] = []
     sizes = [int(s) for s in sizes]
 

@@ -48,8 +48,10 @@ class Link:
             raise ValueError("negative transfer")
         req = self.queue.request()
         yield req
-        yield self.env.timeout(self.transfer_time(nbytes))
-        self.queue.release(req)
+        try:
+            yield self.env.timeout(self.transfer_time(nbytes))
+        finally:
+            self.queue.release(req)
         self.bytes_transferred += nbytes
 
 

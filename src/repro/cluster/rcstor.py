@@ -83,6 +83,8 @@ class _Runtime:
                  obs: Observer | None = None, label: str = "run"):
         self.obs = obs
         self.label = label
+        self.invariants = getattr(obs, "invariants", None) \
+            if obs is not None else None
         self.env = Environment(
             trace_hooks=obs.engine_hooks if obs is not None else None)
         self.pid = obs.tracer.process(label) if obs is not None else 0
@@ -103,6 +105,8 @@ class _Runtime:
 
     def finalize(self) -> None:
         """Fold end-of-measurement resource statistics into the metrics."""
+        if self.invariants is not None:
+            self.invariants.audit_env(self.env)
         obs = self.obs
         if obs is None:
             return
@@ -167,6 +171,15 @@ class RCStor:
             return self.codec.decode_time(output_bytes)
         return self.codec.regenerate_time(output_bytes)
 
+    def _profile(self, cache: ProfileCache, failed_role: int, size: int,
+                 inv=None) -> RepairProfile:
+        """Fetch a repair profile, byte-conservation-checked when the
+        runtime carries an :class:`~repro.analysis.InvariantChecker`."""
+        profile = cache.get(failed_role, size)
+        if inv is not None:
+            inv.check_repair_profile(cache.code, profile)
+        return profile
+
     # ------------------------------------------------------------------
     # Normal reads
     # ------------------------------------------------------------------
@@ -202,8 +215,10 @@ class RCStor:
         yield req
         if not started.triggered:
             started.succeed()
-        yield disk.env.timeout(disk.model.read_time(n_ios, nbytes))
-        disk.queue.release(req)
+        try:
+            yield disk.env.timeout(disk.model.read_time(n_ios, nbytes))
+        finally:
+            disk.queue.release(req)
         disk.bytes_read += nbytes
         disk.n_read_ios += n_ios
 
@@ -216,7 +231,8 @@ class RCStor:
             start_foreground_load(
                 rt.env, rt.disks, rt.rng,
                 utilization=self.config.foreground_utilization,
-                mean_read_bytes=self.config.foreground_read_bytes)
+                mean_read_bytes=self.config.foreground_read_bytes,
+                invariants=rt.invariants)
         times: list[float] = []
 
         def driver():
@@ -281,7 +297,8 @@ class RCStor:
                 # chunks must repair the whole chunk and discard.
                 size = overlap if is_rs else chunk.stored_bytes
                 cache = self.rs_profiles if is_rs else self.profiles
-                profile = cache.get(failed_role, size)
+                profile = self._profile(cache, failed_role, size,
+                                        rt.invariants)
                 t_read = env.now
                 reads = [env.process(rt.disks[pg.disk_ids[h.role]].read(
                     h.n_ios, h.nbytes, FOREGROUND, span=h.span))
@@ -392,7 +409,9 @@ class RCStor:
                     # Regenerating code: batched sub-chunk reads from d helpers.
                     batch: dict[int, list[int]] = {}
                     for chunk in missing:
-                        prof = self.profiles.get(failed_role, chunk.stored_bytes)
+                        prof = self._profile(self.profiles, failed_role,
+                                             chunk.stored_bytes,
+                                             rt.invariants)
                         for h in prof.helpers:
                             acc = batch.setdefault(h.role, [0, 0, 0])
                             acc[0] += h.n_ios
@@ -476,7 +495,8 @@ class RCStor:
             start_foreground_load(
                 rt.env, rt.disks, rt.rng,
                 utilization=self.config.foreground_utilization,
-                mean_read_bytes=self.config.foreground_read_bytes)
+                mean_read_bytes=self.config.foreground_read_bytes,
+                invariants=rt.invariants)
         results: list[DegradedReadResult] = []
 
         def driver():
@@ -523,7 +543,8 @@ class RCStor:
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
-    def _build_recovery_tasks(self, failed_disk: int) -> list[_RecoveryTask]:
+    def _build_recovery_tasks(self, failed_disk: int,
+                              inv=None) -> list[_RecoveryTask]:
         """Chunk-granularity recovery tasks, weighted by size (§5.1).
 
         Small chunks are batched toward 4 MB requests — the paper's
@@ -555,6 +576,8 @@ class RCStor:
                     if scalar and isinstance(self.code, RSCode):
                         profile = self._rotated_helpers(profile, rotation)
                         rotation += 1
+                    if inv is not None:
+                        inv.check_repair_profile(self.code, profile)
                     weight = max(1, round(profile.output_bytes / unit))
                     tasks.append(_RecoveryTask(pg, profile, weight, is_rs=False))
             # RS-coded small-size-bucket, recovered in ~4 MB pieces.
@@ -565,6 +588,8 @@ class RCStor:
                 profile = self._rotated_helpers(
                     self.rs_profiles.get(role, piece), rotation)
                 rotation += 1
+                if inv is not None:
+                    inv.check_repair_profile(self.rs_profiles.code, profile)
                 weight = max(1, round(piece / unit))
                 tasks.append(_RecoveryTask(pg, profile, weight, is_rs=True))
         return tasks
@@ -604,7 +629,7 @@ class RCStor:
         env = rt.env
         tasks: list[_RecoveryTask] = []
         for disk in failed:
-            tasks.extend(self._build_recovery_tasks(disk))
+            tasks.extend(self._build_recovery_tasks(disk, rt.invariants))
         done, meta = self._run_task_set(rt, deque(tasks), set(failed))
         start = env.now
         env.run(done)
@@ -622,8 +647,8 @@ class RCStor:
                                if makespan else 0.0),
         )
 
-    def _build_multi_failure_tasks(self, failed_disks: list[int]
-                                   ) -> list[_RecoveryTask]:
+    def _build_multi_failure_tasks(self, failed_disks: list[int],
+                                   inv=None) -> list[_RecoveryTask]:
         """Tasks for PGs hit by more than one failure (§2.2).
 
         Multi-erasure repair cannot use the regenerating sub-chunk trick:
@@ -661,6 +686,9 @@ class RCStor:
                                                    total, total)
                                         for r in helper_roles)
                         profile = RepairProfile(role, total, helpers, total)
+                        if inv is not None:
+                            inv.check_decode_profile(profile,
+                                                     len(helper_roles))
                         weight = max(1, round(total / unit))
                         tasks.append(_RecoveryTask(pg, profile, weight,
                                                    is_rs=True))
@@ -668,6 +696,9 @@ class RCStor:
                     helpers = tuple(HelperRead(r, 1, small, small)
                                     for r in survivors[: self.config.k])
                     profile = RepairProfile(role, small, helpers, small)
+                    if inv is not None:
+                        inv.check_decode_profile(
+                            profile, len(survivors[: self.config.k]))
                     tasks.append(_RecoveryTask(pg, profile,
                                                max(1, round(small / unit)),
                                                is_rs=True))
@@ -694,11 +725,11 @@ class RCStor:
         tasks: list[_RecoveryTask] = []
         # Single-failure PGs: optimal plans, skipping multi-failure PGs.
         for disk in failed_disks:
-            for task in self._build_recovery_tasks(disk):
+            for task in self._build_recovery_tasks(disk, rt.invariants):
                 other = [d for d in failed if d != disk and d in task.pg]
                 if not other:
                     tasks.append(task)
-        tasks += self._build_multi_failure_tasks(sorted(failed))
+        tasks += self._build_multi_failure_tasks(sorted(failed), rt.invariants)
         # Helpers must not read from any failed disk.
         alive_tasks: list[_RecoveryTask] = []
         for task in tasks:
@@ -740,7 +771,7 @@ class RCStor:
         Returns ``(all_servers_done_event, meta)`` where meta carries the
         task count and repaired byte total.
         """
-        tasks = deque(self._build_recovery_tasks(failed_disk))
+        tasks = deque(self._build_recovery_tasks(failed_disk, rt.invariants))
         return self._run_task_set(rt, tasks, {failed_disk}, priority,
                                   weight_limit)
 
@@ -842,7 +873,8 @@ class RCStor:
             start_foreground_load(
                 env, rt.disks, rt.rng,
                 utilization=self.config.foreground_utilization,
-                mean_read_bytes=self.config.foreground_read_bytes)
+                mean_read_bytes=self.config.foreground_read_bytes,
+                invariants=rt.invariants)
         start = env.now
         done, meta = self._start_recovery(rt, failed_disk,
                                           weight_limit=weight_limit)

@@ -193,13 +193,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics summary (utilization, "
                              "queue waits) after the experiment")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run with the repro.analysis invariant checker "
+                             "armed: monotonic sim clock, codec byte "
+                             "conservation, end-of-run resource-leak audit")
     args = parser.parse_args(argv)
 
     obs = None
-    if args.trace or args.metrics:
+    checker = None
+    if args.trace or args.metrics or args.check_invariants:
         from repro.experiments.common import enable_observability
 
         obs = enable_observability()
+        if args.check_invariants:
+            from repro.analysis import attach_invariant_checker
+
+            checker = attach_invariant_checker(obs)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
@@ -216,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
                                           metrics=args.metrics)
             if report:
                 print(report)
+            if checker is not None:
+                print(checker.report())
     return 0
 
 

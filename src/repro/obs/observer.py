@@ -19,17 +19,25 @@ from repro.obs.tracer import Tracer
 
 
 class EngineHooks:
-    """Counts engine activity (wired into :class:`~repro.sim.Environment`)."""
+    """Counts engine activity (wired into :class:`~repro.sim.Environment`).
 
-    __slots__ = ("events_scheduled", "process_resumes")
+    When an :class:`~repro.analysis.InvariantChecker` is attached
+    (``invariants``), every scheduled event is also checked against the
+    monotonic sim-clock invariant.
+    """
+
+    __slots__ = ("events_scheduled", "process_resumes", "invariants")
 
     def __init__(self, metrics: MetricsRegistry):
         self.events_scheduled = metrics.counter("engine.events_scheduled")
         self.process_resumes = metrics.counter("engine.process_resumes")
+        self.invariants = None
 
     def on_schedule(self, when: float, event) -> None:
         """Called whenever the engine enqueues an event."""
         self.events_scheduled.inc()
+        if self.invariants is not None:
+            self.invariants.on_schedule(when, event)
 
     def on_resume(self, process, trigger) -> None:
         """Called whenever a process coroutine is resumed."""
@@ -37,12 +45,19 @@ class EngineHooks:
 
 
 class Observer:
-    """A metrics registry plus a span tracer, shared across measurements."""
+    """A metrics registry plus a span tracer, shared across measurements.
+
+    ``invariants`` (optional, installed by
+    :func:`repro.analysis.attach_invariant_checker`) turns on runtime
+    invariant checking in every resource and runtime built under this
+    observer; the default ``None`` keeps observability side-effect free.
+    """
 
     def __init__(self):
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.engine_hooks = EngineHooks(self.metrics)
+        self.invariants = None
 
     def summary(self) -> str:
         """The registry's plain-text metrics report."""

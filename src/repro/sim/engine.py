@@ -197,6 +197,10 @@ class Environment:
                 return None
             heapq.heappop(self._queue)
             self._pending.discard(event)
+            if when < self.now:
+                raise SimulationError(
+                    f"sim clock would run backwards: event at t={when!r} "
+                    f"popped at t={self.now!r}")
             self.now = when
             callbacks, event.callbacks = event.callbacks, []
             for cb in callbacks:

@@ -4,8 +4,17 @@ Usage inside a process::
 
     req = disk.request(priority=1)
     yield req
-    yield env.timeout(service_time)
-    disk.release(req)
+    try:
+        yield env.timeout(service_time)
+    finally:
+        disk.release(req)
+
+or, equivalently, with the request as a context manager (released — or
+cancelled, if never granted — on every exit path)::
+
+    with disk.request(priority=1) as req:
+        yield req
+        yield env.timeout(service_time)
 
 ``Resource`` is strictly FIFO; ``PriorityResource`` serves lower priority
 numbers first (FIFO within a priority class) — RCStor's storage servers use
@@ -14,10 +23,16 @@ priority lanes to keep foreground reads ahead of background recovery
 
 Every :class:`Request` timestamps its creation and grant, so
 :attr:`Request.queue_wait` reports queueing delay without callers tracking
-sim times by hand.  Passing an :class:`~repro.obs.Observer` (plus a metric
-``kind``/``instance``) records per-priority-lane wait-time histograms and
+sim times by hand.  Releases are strictly once-only: a double release
+raises :class:`~repro.sim.engine.SimulationError` instead of silently
+corrupting the utilization integral and waking spurious waiters.
+
+Passing an :class:`~repro.obs.Observer` (plus a metric ``kind`` /
+``instance``) records per-priority-lane wait-time histograms and
 time-weighted queue-depth / in-use gauges; without one the only cost is a
-single ``is not None`` test per request/grant/release.
+single ``is not None`` test per request/grant/release.  If the observer
+carries an :class:`~repro.analysis.InvariantChecker` (``obs.invariants``),
+the resource registers itself for the end-of-run grant-leak audit.
 """
 
 from __future__ import annotations
@@ -31,14 +46,16 @@ from repro.sim.engine import Environment, Event, SimulationError
 class Request(Event):
     """A pending acquisition; triggers when the resource is granted."""
 
-    __slots__ = ("resource", "priority", "granted", "request_time",
-                 "grant_time")
+    __slots__ = ("resource", "priority", "granted", "released", "cancelled",
+                 "request_time", "grant_time")
 
     def __init__(self, env: Environment, resource: "Resource", priority: int):
         super().__init__(env)
         self.resource = resource
         self.priority = priority
         self.granted = False
+        self.released = False
+        self.cancelled = False
         self.request_time = env.now
         self.grant_time: float | None = None
 
@@ -48,6 +65,24 @@ class Request(Event):
         if self.grant_time is None:
             raise SimulationError("request has not been granted yet")
         return self.grant_time - self.request_time
+
+    def release(self) -> None:
+        """Release this grant (same as ``resource.release(request)``)."""
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw this request from the wait queue before it is granted."""
+        self.resource.cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.granted and not self.released:
+            self.resource.release(self)
+        elif not self.granted and not self.cancelled and not self.released:
+            self.resource.cancel(self)
+        return False
 
 
 class Resource:
@@ -61,6 +96,7 @@ class Resource:
         self.capacity = capacity
         self.in_use = 0
         self._waiters: list[tuple[int, int, Request]] = []
+        self._n_cancelled = 0
         self._seq = count()
         # Utilization accounting: integral of in_use over the lifetime.
         self._usage_integral = 0.0
@@ -75,6 +111,11 @@ class Resource:
                                                   **labels)
             self._in_use_gauge = obs.metrics.gauge(f"{kind}.in_use", **labels)
             self._wait_hists: dict[int, object] = {}
+        # Optional runtime invariants: register for the grant-leak audit.
+        invariants = getattr(obs, "invariants", None) if obs is not None \
+            else None
+        if invariants is not None:
+            invariants.register_resource(self)
 
     # ------------------------------------------------------------------
     def _account(self) -> None:
@@ -97,19 +138,22 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        """Number of waiters queued on this resource."""
-        return len(self._waiters)
+        """Number of live (non-cancelled) waiters queued on this resource."""
+        return len(self._waiters) - self._n_cancelled
 
     # ------------------------------------------------------------------
     def request(self, priority: int = 0) -> Request:
         """Request the resource; yields when granted."""
         req = Request(self.env, self, priority)
-        if self.in_use < self.capacity and not self._waiters:
+        if self.in_use < self.capacity and self.queue_length == 0:
+            if self._waiters:  # only cancelled husks remain: drop them
+                self._waiters.clear()
+                self._n_cancelled = 0
             self._grant(req)
         else:
             heapq.heappush(self._waiters, (self._key(priority), next(self._seq), req))
             if self._obs is not None:
-                self._depth_gauge.set(len(self._waiters), self.env.now)
+                self._depth_gauge.set(self.queue_length, self.env.now)
         return req
 
     def _key(self, priority: int) -> int:
@@ -132,21 +176,57 @@ class Resource:
                                                lane=req.priority)
             self._wait_hists[req.priority] = hist
         hist.observe(now - req.request_time)
-        self._depth_gauge.set(len(self._waiters), now)
+        self._depth_gauge.set(self.queue_length, now)
         self._in_use_gauge.set(self.in_use, now)
 
     def release(self, req: Request) -> None:
-        """Release a granted request, waking the next waiter."""
+        """Release a granted request, waking the next waiter.
+
+        Releases are once-only: releasing the same request twice raises
+        instead of corrupting the in-use count and utilization integral.
+        """
+        if req.resource is not self:
+            raise SimulationError("request belongs to a different resource")
+        if req.released:
+            raise SimulationError(
+                "request already released; a double release would corrupt "
+                "utilization accounting")
+        if req.cancelled:
+            raise SimulationError("releasing a cancelled request")
         if not req.granted:
             raise SimulationError("releasing a request that was never granted")
+        req.released = True
         req.granted = False
         self._account()
         self.in_use -= 1
         if self._obs is not None:
             self._in_use_gauge.set(self.in_use, self.env.now)
-        if self._waiters and self.in_use < self.capacity:
+        while self._waiters and self.in_use < self.capacity:
             _key, _seq, nxt = heapq.heappop(self._waiters)
+            if nxt.cancelled:
+                self._n_cancelled -= 1
+                continue
             self._grant(nxt)
+            break
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw a queued request before it is granted.
+
+        The husk stays in the wait heap and is skipped (and dropped) when
+        it reaches the front; cancelling an already-granted request is an
+        error — release it instead.
+        """
+        if req.resource is not self:
+            raise SimulationError("request belongs to a different resource")
+        if req.granted or req.released:
+            raise SimulationError("cannot cancel a granted request; "
+                                  "release it instead")
+        if req.cancelled:
+            return
+        req.cancelled = True
+        self._n_cancelled += 1
+        if self._obs is not None:
+            self._depth_gauge.set(self.queue_length, self.env.now)
 
 
 class PriorityResource(Resource):

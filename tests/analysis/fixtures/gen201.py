@@ -1,0 +1,22 @@
+"""GEN201 fixture: bare ``yield`` in a process generator."""
+
+
+def bad_proc(env):
+    yield env.timeout(1)
+    yield
+
+
+def ok_proc(env):
+    yield env.timeout(1)
+
+
+def data_gen(items):
+    # Not a process generator: never yields events, never started via
+    # env.process(...) — bare yields are fine here.
+    for _ in items:
+        yield
+
+
+def quiet_proc(env):
+    yield env.timeout(1)
+    yield  # simlint: disable=GEN201

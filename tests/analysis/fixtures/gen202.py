@@ -1,0 +1,16 @@
+"""GEN202 fixture: process generator yielding a non-event literal."""
+
+
+def bad_proc(env):
+    yield env.timeout(1)
+    yield 42
+
+
+def ok_proc(env):
+    yield env.timeout(1)
+    yield env.event()
+
+
+def quiet_proc(env):
+    yield env.timeout(1)
+    yield "done"  # simlint: disable=GEN202

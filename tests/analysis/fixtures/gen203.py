@@ -1,0 +1,19 @@
+"""GEN203 fixture: fire-and-forget process discarding a return value."""
+
+
+def worker(env):
+    yield env.timeout(1)
+    return 42
+
+
+def bad(env):
+    env.process(worker(env))
+
+
+def ok(env):
+    done = env.process(worker(env))
+    yield done
+
+
+def quiet(env):
+    env.process(worker(env))  # simlint: disable=GEN203

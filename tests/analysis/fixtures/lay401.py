@@ -1,0 +1,7 @@
+"""LAY401 fixture: layering violations (linted as if under repro/sim)."""
+
+from repro.cluster import rcstor
+
+from repro.sim.engine import Environment
+
+from repro.obs import observer  # simlint: disable=LAY401

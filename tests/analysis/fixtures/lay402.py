@@ -1,0 +1,13 @@
+"""LAY402 fixture: mutable default arguments."""
+
+
+def bad(items=[]):
+    return items
+
+
+def ok(items=None):
+    return items if items is not None else []
+
+
+def quiet(items={}):  # simlint: disable=LAY402
+    return items

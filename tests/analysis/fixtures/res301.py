@@ -1,0 +1,30 @@
+"""RES301 fixture: resource grant not released on every path."""
+
+
+def bad(env, disk):
+    req = disk.request()
+    yield req
+    if env.now > 10:
+        return
+    disk.release(req)
+
+
+def ok(env, disk):
+    req = disk.request()
+    yield req
+    try:
+        yield env.timeout(1)
+    finally:
+        disk.release(req)
+
+
+def ok_with(env, disk):
+    with disk.request() as req:
+        yield req
+        yield env.timeout(1)
+
+
+def quiet(env, disk):
+    req = disk.request()  # simlint: disable=RES301
+    yield req
+    return

@@ -1,0 +1,24 @@
+"""RES302 fixture: grant held across a sim wait without try/finally."""
+
+
+def bad(env, disk):
+    req = disk.request()
+    yield req
+    yield env.timeout(1)
+    disk.release(req)
+
+
+def ok(env, disk):
+    req = disk.request()
+    yield req
+    try:
+        yield env.timeout(1)
+    finally:
+        disk.release(req)
+
+
+def quiet(env, disk):
+    req = disk.request()
+    yield req
+    yield env.timeout(1)  # simlint: disable=RES302
+    disk.release(req)

@@ -1,0 +1,15 @@
+"""SIM101 fixture: wall-clock calls in a deterministic layer."""
+
+import time
+
+
+def bad():
+    return time.time()
+
+
+def ok(env):
+    return env.now
+
+
+def quiet():
+    return time.time()  # simlint: disable=SIM101

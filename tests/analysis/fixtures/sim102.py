@@ -1,0 +1,31 @@
+"""SIM102 fixture: nondeterministic RNG usage."""
+
+import random
+
+import numpy as np
+
+
+def bad_module_rng():
+    return random.random()
+
+
+def bad_unseeded_default_rng():
+    return np.random.default_rng()
+
+
+def bad_legacy_global(n):
+    return np.random.rand(n)
+
+
+def bad_unseeded_random_instance():
+    return random.Random()
+
+
+def ok(seed):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.random() + local.random()
+
+
+def quiet():
+    return random.choice([1, 2])  # simlint: disable=SIM102

@@ -1,0 +1,18 @@
+"""SIM103 fixture: iteration over unordered sets feeding scheduling."""
+
+
+def bad(env, items):
+    for node in {3, 1, 2}:
+        env.process(node)
+    return [x for x in set(items)]
+
+
+def ok(env, items):
+    for node in sorted({3, 1, 2}):
+        env.process(node)
+    return [x for x in sorted(set(items))]
+
+
+def quiet(env):
+    for node in {3, 1, 2}:  # simlint: disable=SIM103
+        env.process(node)

@@ -1,0 +1,52 @@
+"""Autofix tests: SIM103's mechanical ``sorted(...)`` wrap."""
+
+from repro.analysis import lint_file, lint_source
+from repro.analysis.linter import apply_fixes
+
+
+def _sim_file(tmp_path, source):
+    path = tmp_path / "src" / "repro" / "sim" / "mod.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_sim103_fix_wraps_in_sorted(tmp_path):
+    path = _sim_file(tmp_path,
+                     "def f(env, nodes):\n"
+                     "    for n in {3, 1, 2}:\n"
+                     "        env.process(n)\n")
+    violations = lint_file(path)
+    assert [v.rule for v in violations] == ["SIM103"]
+    assert apply_fixes(path, violations) == 1
+    fixed = path.read_text(encoding="utf-8")
+    assert "for n in sorted({3, 1, 2}):" in fixed
+    assert lint_file(path) == []
+
+
+def test_fix_applies_to_set_call_in_comprehension(tmp_path):
+    path = _sim_file(tmp_path,
+                     "def f(env, nodes):\n"
+                     "    return [env.process(n) for n in set(nodes)]\n")
+    violations = lint_file(path)
+    assert apply_fixes(path, violations) == 1
+    assert "in sorted(set(nodes))]" in path.read_text(encoding="utf-8")
+    assert lint_file(path) == []
+
+
+def test_multiple_fixes_one_file(tmp_path):
+    path = _sim_file(tmp_path,
+                     "def f(env):\n"
+                     "    for a in {1, 2}:\n"
+                     "        env.process(a)\n"
+                     "    for b in {3, 4}:\n"
+                     "        env.process(b)\n")
+    violations = lint_file(path)
+    assert apply_fixes(path, violations) == 2
+    assert lint_file(path) == []
+
+
+def test_non_autofixable_rules_have_no_fix():
+    violations = lint_source("def f(x=[]):\n    return x\n",
+                             "src/repro/sim/x.py")
+    assert violations and all(v.fix is None for v in violations)

@@ -1,0 +1,61 @@
+"""CLI tests: exit codes, output format, ``--fix`` and ``--list-rules``."""
+
+from repro.analysis.cli import main
+
+
+def _sim_file(tmp_path, source, name="mod.py"):
+    path = tmp_path / "src" / "repro" / "sim" / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = _sim_file(tmp_path, "def f(env):\n    return env.now\n")
+    assert main([str(path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_violation_exits_one_with_rule_id_and_location(tmp_path, capsys):
+    path = _sim_file(tmp_path,
+                     "import time\n\n\n"
+                     "def f():\n"
+                     "    return time.time()\n")
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM101" in out
+    assert f"{path}:5:" in out
+
+
+def test_no_files_exits_two(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main([str(empty)]) == 2
+
+
+def test_select_restricts_rules(tmp_path):
+    path = _sim_file(tmp_path,
+                     "import time\n\n\n"
+                     "def f(x=[]):\n"
+                     "    return time.time()\n")
+    assert main([str(path), "--select", "LAY402"]) == 1
+    assert main([str(path), "--select", "GEN201"]) == 0
+
+
+def test_fix_repairs_in_place(tmp_path, capsys):
+    path = _sim_file(tmp_path,
+                     "def f(env):\n"
+                     "    for n in {3, 1, 2}:\n"
+                     "        env.process(n)\n")
+    assert main([str(path), "--fix"]) == 0
+    out = capsys.readouterr().out
+    assert "fixed 1 violation(s)" in out
+    assert "sorted({3, 1, 2})" in path.read_text(encoding="utf-8")
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM101", "SIM102", "SIM103", "GEN201", "GEN202",
+                    "GEN203", "RES301", "RES302", "LAY401", "LAY402"):
+        assert rule_id in out

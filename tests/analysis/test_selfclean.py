@@ -1,0 +1,13 @@
+"""The shipped source tree must be simlint-clean (the CI gate)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_is_clean():
+    result = lint_paths([SRC])
+    assert result.files_checked > 50
+    assert result.ok, "\n".join(v.format() for v in result.violations)

@@ -293,3 +293,94 @@ def test_unobserved_resource_has_no_metric_attrs():
     env = Environment()
     disk = Resource(env)
     assert disk._obs is None  # the disabled path stays a single None test
+
+
+# ----------------------------------------------------------------------
+# Release/cancel lifecycle guards
+# ----------------------------------------------------------------------
+def test_double_release_raises():
+    env = Environment()
+    disk = Resource(env)
+    req = disk.request()
+    disk.release(req)
+    with pytest.raises(SimulationError, match="already released"):
+        disk.release(req)
+    assert disk.in_use == 0  # the failed release did not corrupt accounting
+
+
+def test_release_method_on_request():
+    env = Environment()
+    disk = Resource(env)
+    req = disk.request()
+    assert disk.in_use == 1
+    req.release()
+    assert disk.in_use == 0
+    with pytest.raises(SimulationError, match="already released"):
+        req.release()
+
+
+def test_release_foreign_request_raises():
+    env = Environment()
+    a, b = Resource(env), Resource(env)
+    req = a.request()
+    with pytest.raises(SimulationError, match="different resource"):
+        b.release(req)
+    a.release(req)
+
+
+def test_release_ungranted_request_raises():
+    env = Environment()
+    disk = Resource(env)
+    held = disk.request()
+    queued = disk.request()
+    assert not queued.granted
+    with pytest.raises(SimulationError, match="never granted"):
+        disk.release(queued)
+    disk.release(held)
+
+
+def test_cancel_queued_request_is_skipped_at_grant_time():
+    env = Environment()
+    disk = Resource(env)
+    first = disk.request()
+    second = disk.request()
+    third = disk.request()
+    second.cancel()
+    assert disk.queue_length == 1
+    second.cancel()  # idempotent
+    first.release()
+    assert third.granted and not second.granted
+    with pytest.raises(SimulationError, match="cancel"):
+        third.cancel()  # granted requests must be released, not cancelled
+    with pytest.raises(SimulationError, match="cancelled"):
+        disk.release(second)
+    third.release()
+
+
+def test_request_context_manager_releases():
+    env = Environment()
+    disk = Resource(env)
+    done = []
+
+    def job(name, service):
+        with disk.request() as req:
+            yield req
+            yield env.timeout(service)
+        done.append((env.now, name))
+
+    env.process(job("a", 2))
+    env.process(job("b", 1))
+    env.run()
+    assert done == [(2, "a"), (3, "b")]
+    assert disk.in_use == 0
+
+
+def test_request_context_manager_cancels_when_never_granted():
+    env = Environment()
+    disk = Resource(env)
+    held = disk.request()
+    with disk.request() as req:
+        pass  # exits before the grant: withdrawn from the queue
+    assert req.cancelled
+    held.release()
+    assert disk.in_use == 0 and disk.queue_length == 0
