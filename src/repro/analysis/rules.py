@@ -54,9 +54,12 @@ LAYER_DEPS: dict[str, frozenset] = {
     "cluster": frozenset({"cluster", "codes", "core", "gf", "obs", "sim",
                           "trace"}),
     "analysis": frozenset({"analysis", "codes", "gf", "obs", "sim"}),
+    # The runner orchestrates observers and invariant checks but never the
+    # simulation itself; "" is the top-level package (for __version__).
+    "runner": frozenset({"runner", "obs", "analysis", ""}),
     "experiments": frozenset({"experiments", "analysis", "cluster", "codes",
-                              "core", "gf", "obs", "reliability", "sim",
-                              "trace"}),
+                              "core", "gf", "obs", "reliability", "runner",
+                              "sim", "trace"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset({

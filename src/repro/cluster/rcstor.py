@@ -107,6 +107,10 @@ class _Runtime:
         """Fold end-of-measurement resource statistics into the metrics."""
         if self.invariants is not None:
             self.invariants.audit_env(self.env)
+        # Audit first (a real leak must still be visible), then close all
+        # remaining processes so their resource releases land here rather
+        # than at garbage-collection time during a later measurement.
+        self.env.close()
         obs = self.obs
         if obs is None:
             return
@@ -153,7 +157,7 @@ class RCStor:
     @property
     def obs(self) -> Observer | None:
         """This system's observer: the one given at construction, else the
-        process-wide default (see :func:`repro.obs.set_default_observer`)."""
+        context-scoped default (see :func:`repro.obs.observed`)."""
         return self._obs if self._obs is not None else get_default_observer()
 
     # ------------------------------------------------------------------

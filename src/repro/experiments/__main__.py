@@ -1,232 +1,294 @@
 """Command-line runner: regenerate any of the paper's tables and figures.
 
+Every experiment is a list of :class:`~repro.runner.Scenario` units plus a
+pure ``render()``; this CLI assembles the requested units, hands them to
+:func:`repro.runner.run_scenarios` (parallel with ``--jobs``, cached under
+``results/cache/`` unless ``--no-cache``), and renders the results.  Rows
+are bit-identical for any ``--jobs`` value and across cache hits.
+
 Examples::
 
     python -m repro.experiments table1
-    python -m repro.experiments fig4
     python -m repro.experiments fig9  --n-objects 4000
-    python -m repro.experiments fig10 --n-objects 30000
-    python -m repro.experiments ablations
-    python -m repro.experiments all          # everything (several minutes)
+    python -m repro.experiments all --jobs 4          # parallel fan-out
+    python -m repro.experiments all --jobs 4          # second run: cached
+    python -m repro.experiments fig10 --seed 7 --json # machine-readable
+    python -m repro.experiments all --bench-out BENCH_experiments.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-
-def _w(args):
-    from repro.experiments.common import W1_SETTING, W2_SETTING
-
-    return W2_SETTING if args.workload == "W2" else W1_SETTING
+from repro.experiments.common import default
 
 
-def run_table1(args):
+# ----------------------------------------------------------------------
+# Experiment specs: (args) -> (scenario units, render function)
+# ----------------------------------------------------------------------
+def spec_table1(args):
     from repro.experiments import table1
 
-    return table1.to_text(table1.run())
+    return table1.scenarios(), table1.render
 
 
-def run_table2(args):
+def spec_table2(args):
     from repro.experiments import table2
 
-    return table2.to_text(table2.run(n_objects=args.n_objects or 30_000))
+    return table2.scenarios(n_objects=args.n_objects), table2.render
 
 
-def run_fig2(args):
-    from repro.experiments import fig2
-
-    return fig2.to_text(fig2.run())
-
-
-def run_fig4(args):
-    from repro.experiments import calibration, fig4
-
-    return (fig4.to_text(fig4.run()) + "\n\n"
-            + calibration.to_text(calibration.anchors()))
-
-
-def run_fig7(args):
-    from repro.experiments import fig7
-
-    return fig7.to_text(fig7.run(n_objects=args.n_objects or 60_000))
-
-
-def run_fig9(args):
-    from repro.experiments import tradeoff
-    from repro.experiments.common import W1_SETTING
-
-    return tradeoff.to_text(tradeoff.run(
-        W1_SETTING, n_objects=args.n_objects, n_requests=args.n_requests))
-
-
-def run_fig10(args):
-    from repro.experiments import tradeoff
-    from repro.experiments.common import W2_SETTING
-
-    return tradeoff.to_text(tradeoff.run(
-        W2_SETTING, n_objects=args.n_objects, n_requests=args.n_requests))
-
-
-def run_table3(args):
+def spec_table3(args):
     from repro.experiments import table3
 
-    return table3.to_text(table3.run(_w(args), n_objects=args.n_objects))
+    return (table3.scenarios(args.workload, n_objects=args.n_objects),
+            table3.render)
 
 
-def run_fig11(args):
-    from repro.experiments import fig11_fig12
-    from repro.experiments.common import W1_SETTING
-
-    return fig11_fig12.to_text(fig11_fig12.run(
-        W1_SETTING, n_objects=args.n_objects or 1500))
-
-
-def run_fig12(args):
-    from repro.experiments import fig11_fig12
-    from repro.experiments.common import W2_SETTING
-
-    return fig11_fig12.to_text(fig11_fig12.run(
-        W2_SETTING, n_objects=args.n_objects or 8000))
-
-
-def run_fig13(args):
-    from repro.experiments import fig13
-
-    return fig13.to_text(fig13.run(n_objects=args.n_objects or 1500))
-
-
-def run_fig14(args):
-    from repro.experiments import fig14
-
-    setting = _w(args)
-    return fig14.to_text(fig14.run(
-        setting, n_objects=args.n_objects or 5000), setting)
-
-
-def run_breakdown(args):
-    from repro.experiments import breakdown
-
-    setting = _w(args)
-    return breakdown.to_text(breakdown.run(
-        setting, n_objects=args.n_objects or 12_000), setting)
-
-
-def run_range(args):
-    from repro.experiments import range_access
-
-    return range_access.to_text(range_access.run(
-        n_objects=args.n_objects or 1200))
-
-
-def run_table4(args):
+def spec_table4(args):
     from repro.experiments import table4
 
-    return table4.to_text(table4.run(n_objects=args.n_objects or 500))
+    return table4.scenarios(n_objects=args.n_objects), table4.render
 
 
-def run_table5(args):
+def spec_table5(args):
     from repro.experiments import table5
 
-    return table5.to_text(table5.run(n_objects=args.n_objects or 1200))
+    return table5.scenarios(n_objects=args.n_objects), table5.render
 
 
-def run_headline(args):
+def spec_fig2(args):
+    from repro.experiments import fig2
+
+    return fig2.scenarios(), fig2.render
+
+
+def spec_fig4(args):
+    from repro.experiments import calibration, fig4
+
+    units = fig4.scenarios() + calibration.scenarios()
+
+    def render(results):
+        by = {r.name.rsplit("/", 1)[-1]: r for r in results}
+        return (fig4.render([by["chunk-size"]]) + "\n\n"
+                + calibration.render([by["calibration"]]))
+
+    return units, render
+
+
+def spec_fig7(args):
+    from repro.experiments import fig7
+
+    return fig7.scenarios(n_objects=args.n_objects), fig7.render
+
+
+def spec_fig9(args):
+    from repro.experiments import tradeoff
+
+    return (tradeoff.scenarios("W1", n_objects=args.n_objects,
+                               n_requests=default(args.n_requests, 20)),
+            tradeoff.render)
+
+
+def spec_fig10(args):
+    from repro.experiments import tradeoff
+
+    return (tradeoff.scenarios("W2", n_objects=args.n_objects,
+                               n_requests=default(args.n_requests, 20)),
+            tradeoff.render)
+
+
+def spec_fig11(args):
+    from repro.experiments import fig11_fig12
+
+    return (fig11_fig12.scenarios("W1", n_objects=args.n_objects),
+            fig11_fig12.render)
+
+
+def spec_fig12(args):
+    from repro.experiments import fig11_fig12
+
+    return (fig11_fig12.scenarios("W2", n_objects=args.n_objects),
+            fig11_fig12.render)
+
+
+def spec_fig13(args):
+    from repro.experiments import fig13
+
+    return fig13.scenarios(n_objects=args.n_objects), fig13.render
+
+
+def spec_fig14(args):
+    from repro.experiments import fig14
+
+    return (fig14.scenarios(args.workload, n_objects=args.n_objects),
+            fig14.render)
+
+
+def spec_breakdown(args):
+    from repro.experiments import breakdown
+
+    return (breakdown.scenarios(args.workload, n_objects=args.n_objects),
+            breakdown.render)
+
+
+def spec_range(args):
+    from repro.experiments import range_access
+
+    return (range_access.scenarios(n_objects=args.n_objects),
+            range_access.render)
+
+
+def spec_headline(args):
     from repro.experiments import headline
 
-    return headline.to_text(headline.run(
-        n_objects_w1=args.n_objects or 3000,
-        n_objects_w2=(args.n_objects or 3000) * 10))
+    n_w2 = args.n_objects * 10 if args.n_objects is not None else None
+    return (headline.scenarios(n_objects_w1=args.n_objects,
+                               n_objects_w2=n_w2),
+            headline.render)
 
 
-def run_durability(args):
+def spec_durability(args):
     from repro.experiments import durability
 
-    return durability.to_text(durability.run(
-        n_objects=args.n_objects or 2000))
+    return durability.scenarios(n_objects=args.n_objects), durability.render
 
 
-def run_ablations(args):
+def spec_ablations(args):
     from repro.experiments import ablations
-    from repro.experiments.common import format_table
 
-    text = ablations.to_text(_w(args))
-    prio = ablations.io_priority_ablation(n_objects=args.n_objects or 1000)
-    text += "\n\nIO priority lanes during recovery:\n" + format_table(
-        ["Recovery priority", "Degraded (ms)"],
-        [["background (RCStor)", round(prio.degraded_ms_with_priority)],
-         ["foreground (ablated)", round(prio.degraded_ms_without_priority)]])
-    return text
+    return (ablations.scenarios(args.workload, n_objects=args.n_objects),
+            ablations.render)
 
 
-EXPERIMENTS = {
-    "table1": run_table1, "table2": run_table2, "table3": run_table3,
-    "table4": run_table4, "table5": run_table5,
-    "fig2": run_fig2, "fig4": run_fig4, "fig7": run_fig7,
-    "fig9": run_fig9, "fig10": run_fig10, "fig11": run_fig11,
-    "fig12": run_fig12, "fig13": run_fig13, "fig14": run_fig14,
-    "breakdown": run_breakdown, "range": run_range,
-    "headline": run_headline, "ablations": run_ablations,
-    "durability": run_durability,
+SPECS = {
+    "table1": spec_table1, "table2": spec_table2, "table3": spec_table3,
+    "table4": spec_table4, "table5": spec_table5,
+    "fig2": spec_fig2, "fig4": spec_fig4, "fig7": spec_fig7,
+    "fig9": spec_fig9, "fig10": spec_fig10, "fig11": spec_fig11,
+    "fig12": spec_fig12, "fig13": spec_fig13, "fig14": spec_fig14,
+    "breakdown": spec_breakdown, "range": spec_range,
+    "headline": spec_headline, "ablations": spec_ablations,
+    "durability": spec_durability,
 }
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point of the CLI runner."""
+def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all"],
+                        choices=sorted(SPECS) + ["all"],
                         help="which table/figure to regenerate")
     parser.add_argument("--n-objects", type=int, default=None,
                         help="workload scale (defaults are per-experiment)")
-    parser.add_argument("--n-requests", type=int, default=20,
-                        help="degraded-read sample size")
+    parser.add_argument("--n-requests", type=int, default=None,
+                        help="degraded-read sample size (fig9/fig10)")
     parser.add_argument("--workload", choices=["W1", "W2"], default="W1",
                         help="workload for workload-parametric experiments")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenario units on N worker processes "
+                             "(identical rows for any N)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed; per-unit seeds derive from it so "
+                             "units never perturb each other's draws")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always recompute; do not read or write the "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory "
+                             "(default: results/cache/)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable results (rows + "
+                             "provenance) instead of text tables")
+    parser.add_argument("--bench-out", metavar="OUT.json", default=None,
+                        help="write per-unit wall-clock / sim-time / "
+                             "cache-status accounting as JSON")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="write a Chrome/Perfetto trace-event JSON of "
                              "every simulation the experiment runs")
     parser.add_argument("--metrics", action="store_true",
-                        help="print the metrics summary (utilization, "
-                             "queue waits) after the experiment")
+                        help="print the merged metrics summary "
+                             "(utilization, queue waits) after the run")
     parser.add_argument("--check-invariants", action="store_true",
                         help="run with the repro.analysis invariant checker "
                              "armed: monotonic sim clock, codec byte "
                              "conservation, end-of-run resource-leak audit")
-    args = parser.parse_args(argv)
+    return parser
 
-    obs = None
-    checker = None
-    if args.trace or args.metrics or args.check_invariants:
-        from repro.experiments.common import enable_observability
 
-        obs = enable_observability()
-        if args.check_invariants:
-            from repro.analysis import attach_invariant_checker
+def _result_doc(result) -> dict:
+    """One experiment result as JSON, without bulky trace payloads."""
+    doc = result.to_doc()
+    obs = doc.get("obs")
+    if obs and "trace_events" in obs:
+        doc["obs"] = {k: v for k, v in obs.items() if k != "trace_events"}
+    return doc
 
-            checker = attach_invariant_checker(obs)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    try:
-        for name in names:
-            t0 = time.time()
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the CLI runner."""
+    args = _parser().parse_args(argv)
+
+    from repro.runner import Capture, RunOptions, run_scenarios
+
+    names = sorted(SPECS) if args.experiment == "all" else [args.experiment]
+    units = []
+    sections = []  # (name, first unit index, one-past-last, render)
+    for name in names:
+        scenarios, render = SPECS[name](args)
+        scenarios = [s.prefixed(name) for s in scenarios]
+        sections.append((name, len(units), len(units) + len(scenarios),
+                         render))
+        units.extend(scenarios)
+
+    options = RunOptions(
+        jobs=args.jobs, seed=args.seed, cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        capture=Capture(trace=args.trace is not None, metrics=args.metrics,
+                        invariants=args.check_invariants))
+    t0 = time.time()
+    report = run_scenarios(units, options)
+    wall = time.time() - t0
+
+    if args.json:
+        print(json.dumps({
+            "schema": 1,
+            "sim_version": report.sim_version,
+            "root_seed": report.root_seed,
+            "experiments": {
+                name: [_result_doc(r) for r in report.results[lo:hi]]
+                for name, lo, hi, _render in sections},
+        }, indent=2, sort_keys=True))
+    else:
+        for name, lo, hi, render in sections:
+            outcomes = report.outcomes[lo:hi]
+            served = sum(1 for o in outcomes if o.status != "miss")
             print(f"===== {name} =====")
-            print(EXPERIMENTS[name](args))
-            print(f"[{time.time() - t0:.1f}s]\n")
-    finally:
-        if obs is not None:
-            from repro.experiments.common import finish_observability
+            print(render(report.results[lo:hi]))
+            print(f"[{sum(o.wall_s for o in outcomes):.1f}s, "
+                  f"{served}/{len(outcomes)} units cached]\n")
 
-            report = finish_observability(obs, trace_path=args.trace,
-                                          metrics=args.metrics)
-            if report:
-                print(report)
-            if checker is not None:
-                print(checker.report())
+    if args.metrics and not args.json:
+        from repro.obs import summarize
+
+        print(summarize(report.merged_obs()))
+    if args.check_invariants:
+        inv_report = report.merged_invariants_report()
+        if inv_report:
+            print(inv_report)
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": report.trace_events(),
+                       "displayTimeUnit": "ms"}, fh)
+    if args.bench_out:
+        doc = report.bench_doc(jobs=args.jobs)
+        doc["totals"]["elapsed_s"] = round(wall, 6)
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
     return 0
 
 

@@ -36,7 +36,9 @@ from repro.experiments.common import (
     nearest_candidates,
     request_size_targets,
     sample_workload,
+    setting_by_name,
 )
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 KB = 1 << 10
 MB = 1 << 20
@@ -243,7 +245,15 @@ def to_text(setting: WorkloadSetting = W1_SETTING, seed: int = 0) -> str:
     """Run the cheap ablations and render a combined report."""
     part = two_pass_vs_greedy(setting, n_objects=600, seed=seed)
     front = front_cut_ablation(setting, n_objects=600, seed=seed)
-    ecp = ecpipe_network_model()
+    ecp = [{"packet": p, "star_s": s, "ecpipe_s": e, "speedup": sp}
+           for p, s, e, sp in ecpipe_network_model()]
+    return render_report(part, front, ecp, msr_vs_mbr_tradeoff())
+
+
+def render_report(part: PartitioningAblation, front: FrontCutAblation,
+                  ecp: list[dict],
+                  msr: list[RegeneratingTradeoffRow]) -> str:
+    """Pure rendering of the combined ablation report."""
     sections = [
         "Two-pass scan vs greedy partitioning:",
         format_table(
@@ -261,16 +271,87 @@ def to_text(setting: WorkloadSetting = W1_SETTING, seed: int = 0) -> str:
         "\nECPipe at 1 Gbps links (64 MB strip, k=10):",
         format_table(
             ["Packet", "Star (s)", "ECPipe (s)", "Speedup"],
-            [[f"{p // KB}KB" if p < MB else f"{p // MB}MB",
-              round(s, 2), round(e, 2), f"{sp:.1f}x"] for p, s, e, sp in ecp]),
+            [[f"{r['packet'] // KB}KB" if r['packet'] < MB
+              else f"{r['packet'] // MB}MB",
+              round(r['star_s'], 2), round(r['ecpipe_s'], 2),
+              f"{r['speedup']:.1f}x"] for r in ecp]),
         "\nRegenerating-code trade-off (why the paper picks MSR):",
         format_table(
             ["Code", "Storage", "Repair traffic / lost byte", "alpha"],
             [[t.code, f"{t.storage_overhead * 100:.0f}%",
               round(t.repair_traffic_per_lost_byte, 2), t.sub_packetization]
-             for t in msr_vs_mbr_tradeoff()]),
+             for t in msr]),
     ]
     return "\n".join(sections)
+
+
+def priority_table(prio: PriorityAblation) -> str:
+    """The CLI's io-priority addendum to the combined report."""
+    return "IO priority lanes during recovery:\n" + format_table(
+        ["Recovery priority", "Degraded (ms)"],
+        [["background (RCStor)", round(prio.degraded_ms_with_priority)],
+         ["foreground (ablated)", round(prio.degraded_ms_without_priority)]])
+
+
+def compute_partitioning(setting: str = "W1", n_objects: int = 600,
+                         seed: int = 0) -> dict:
+    """Scenario compute: the two-pass vs greedy comparison."""
+    row = two_pass_vs_greedy(setting_by_name(setting), n_objects=n_objects,
+                             seed=seed)
+    return {"rows": rows_of([row])}
+
+
+def compute_front_cut(setting: str = "W1", n_objects: int = 600,
+                      seed: int = 0) -> dict:
+    """Scenario compute: front cut vs padded front."""
+    row = front_cut_ablation(setting_by_name(setting), n_objects=n_objects,
+                             seed=seed)
+    return {"rows": rows_of([row])}
+
+
+def compute_ecpipe() -> dict:
+    """Scenario compute: the analytic ECPipe network model."""
+    return {"rows": [{"packet": p, "star_s": s, "ecpipe_s": e, "speedup": sp}
+                     for p, s, e, sp in ecpipe_network_model()]}
+
+
+def compute_msr_mbr() -> dict:
+    """Scenario compute: the MSR/MBR/RS storage-repair trade-off."""
+    return {"rows": rows_of(msr_vs_mbr_tradeoff())}
+
+
+def compute_io_priority(setting: str = "W1", n_objects: int = 1000,
+                        seed: int = 0) -> dict:
+    """Scenario compute: degraded reads during recovery, both lanes."""
+    row = io_priority_ablation(setting_by_name(setting), n_objects=n_objects,
+                               seed=seed)
+    return {"rows": rows_of([row])}
+
+
+def scenarios(setting: str = "W1",
+              n_objects: int | None = None) -> list[Scenario]:
+    """One unit per ablation (the DES one dominates the wall-clock)."""
+    return [
+        scenario(compute_partitioning, name="two-pass", setting=setting,
+                 n_objects=n_objects if n_objects is not None else 600),
+        scenario(compute_front_cut, name="front-cut", setting=setting,
+                 n_objects=n_objects if n_objects is not None else 600),
+        scenario(compute_ecpipe, name="ecpipe", seeded=False),
+        scenario(compute_msr_mbr, name="msr-mbr", seeded=False),
+        scenario(compute_io_priority, name="io-priority", setting=setting,
+                 n_objects=n_objects if n_objects is not None else 1000),
+    ]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    by_name = {r.name.rsplit("/", 1)[-1]: r for r in results}
+    part = typed_rows([by_name["two-pass"]], PartitioningAblation)[0]
+    front = typed_rows([by_name["front-cut"]], FrontCutAblation)[0]
+    prio = typed_rows([by_name["io-priority"]], PriorityAblation)[0]
+    return (render_report(part, front, by_name["ecpipe"].rows,
+                          typed_rows([by_name["msr-mbr"]],
+                                     RegeneratingTradeoffRow))
+            + "\n\n" + priority_table(prio))
 
 
 def local_regeneration_tradeoff() -> list[RegeneratingTradeoffRow]:

@@ -18,7 +18,9 @@ from repro.experiments.common import (
     WorkloadSetting,
     format_table,
     sample_workload,
+    setting_by_name,
 )
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 KB = 1 << 10
 MB = 1 << 20
@@ -62,3 +64,21 @@ def to_text(rows: list[BreakdownRow], setting: WorkloadSetting = W1_SETTING) -> 
         ["Scheme", "Small-size-bucket share", f"Avg chunk size ({label})"],
         [[r.scheme, f"{r.small_bucket_share * 100:.1f}%",
           round(r.average_chunk_size / unit, 1)] for r in rows])
+
+
+def compute(setting: str = "W1", n_objects: int = 20_000,
+            seed: int = 0) -> dict:
+    """Scenario compute: all s0 variants' breakdown rows (analytic pass)."""
+    rows = run(setting_by_name(setting), n_objects=n_objects, seed=seed)
+    return {"rows": rows_of(rows), "meta": {"setting": setting}}
+
+
+def scenarios(setting: str = "W1",
+              n_objects: int | None = None) -> list[Scenario]:
+    return [scenario(compute, name="buckets", setting=setting,
+                     n_objects=n_objects if n_objects is not None else 12_000)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    setting = setting_by_name(results[0].meta["setting"])
+    return to_text(typed_rows(results, BreakdownRow), setting)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments import fig4
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 MB = 1 << 20
 
@@ -59,3 +60,16 @@ def to_text(result: list[Anchor]) -> str:
         ["Anchor", "Measured", "Paper", "Within tolerance"],
         [[a.name, round(a.measured, 1), a.paper, "yes" if a.ok else "NO"]
          for a in result])
+
+
+def compute() -> dict:
+    """Scenario compute: the Figure 4 calibration anchors."""
+    return {"rows": rows_of(anchors())}
+
+
+def scenarios() -> list[Scenario]:
+    return [scenario(compute, name="calibration", seeded=False)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, Anchor))

@@ -24,7 +24,6 @@ from repro.core import (
     StripeLayout,
     StripeMaxLayout,
 )
-from repro.obs import Observer, set_default_observer, write_chrome_trace
 from repro.trace import W1, W2, RequestSampler, Workload
 
 KB = 1 << 10
@@ -75,6 +74,39 @@ W2_SETTING = WorkloadSetting(
     geo_s0_variants=(128 * KB, 256 * KB), geo_default_s0=128 * KB,
     contiguous_variants=(128 * KB, 512 * KB), strip_size=32 * KB,
     max_chunk_size=256 * MB, paper_capacity_per_disk=4.4 * GB)
+
+#: Settings by name, for scenario parameters (which must be JSON-safe).
+SETTINGS: dict[str, WorkloadSetting] = {"W1": W1_SETTING, "W2": W2_SETTING}
+
+
+def setting_by_name(name: str) -> WorkloadSetting:
+    """The §6.1 workload setting for a scenario-parameter name."""
+    try:
+        return SETTINGS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload setting {name!r}") from None
+
+
+def default(value, fallback):
+    """``value`` unless it is ``None`` — never treats 0/""/[] as unset."""
+    return fallback if value is None else value
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """CLI-level knobs shared by every experiment's ``scenarios()``.
+
+    ``None`` means "use the experiment's own default"; explicit values —
+    including falsy ones — always win (resolved with :func:`default`).
+    """
+
+    n_objects: int | None = None
+    n_requests: int | None = None
+    workload: str = "W1"
+
+    @property
+    def setting(self) -> WorkloadSetting:
+        return setting_by_name(self.workload)
 
 
 def cluster_config(setting: WorkloadSetting, n_objects: int,
@@ -185,29 +217,6 @@ def scale_to_paper(time: float, setting: WorkloadSetting,
     if bytes_per_disk <= 0:
         return 0.0
     return time * setting.paper_capacity_per_disk / bytes_per_disk
-
-
-def enable_observability() -> Observer:
-    """Create an :class:`~repro.obs.Observer` and install it as the process
-    default, so every system an experiment builds records into it."""
-    obs = Observer()
-    set_default_observer(obs)
-    return obs
-
-
-def finish_observability(obs: Observer, trace_path: str | None = None,
-                         metrics: bool = False) -> str:
-    """Tear down observability: uninstall the default observer, write the
-    Perfetto trace when requested, and return any report text."""
-    set_default_observer(None)
-    parts: list[str] = []
-    if trace_path:
-        n_spans = write_chrome_trace(obs.tracer, trace_path)
-        parts.append(f"wrote {n_spans} spans to {trace_path} "
-                     "(open at https://ui.perfetto.dev)")
-    if metrics:
-        parts.append(obs.summary())
-    return "\n\n".join(parts)
 
 
 def format_table(headers: list[str], rows: list[list]) -> str:

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.codes import ClayCode, LRCCode, RSCode
+from repro.experiments import tradeoff
 from repro.experiments.common import W1_SETTING, WorkloadSetting, format_table
 from repro.experiments.tradeoff import TradeoffResult, run as run_tradeoff
+from repro.runner import ExperimentResult, Scenario
 from repro.reliability import (
     ReliabilityParams,
     fatal_probabilities_for_code,
@@ -66,3 +68,15 @@ def to_text(rows: list[DurabilityRow]) -> str:
           f"{r.mttdl_hours:.3g}", round(r.nines, 1)] for r in rows])
     return (table + "\n\nFaster recovery multiplies MTTDL by ~speedup^r; "
             "LRC additionally pays for its unrecoverable 4-failure patterns.")
+
+
+def scenarios(n_objects: int | None = None) -> list[Scenario]:
+    """The three recovery measurements the reliability model feeds on."""
+    return tradeoff.scenarios(
+        "W1", n_objects=n_objects if n_objects is not None else 2000,
+        n_requests=4, schemes=["Geo-4M", "RS", "LRC"], include_busy=False)
+
+
+def render(results: list[ExperimentResult]) -> str:
+    """Apply the (deterministic) Markov model to the measured recoveries."""
+    return to_text(run(tradeoff_result=tradeoff.from_results(results)))

@@ -19,6 +19,15 @@ from repro.experiments.common import (
     cluster_config,
     format_table,
     sample_workload,
+    setting_by_name,
+)
+from repro.runner import (
+    ExperimentResult,
+    Scenario,
+    canonical_json,
+    rows_of,
+    scenario,
+    typed_rows,
 )
 
 KB = 1 << 10
@@ -85,3 +94,29 @@ def to_text(rows: list[LatencyRow]) -> str:
         ["Scheme", "Object size", "p5 (ms)", "p50 (ms)", "p95 (ms)"],
         [[r.scheme, fmt_size(r.object_size), round(r.p5_ms, 2),
           round(r.p50_ms, 2), round(r.p95_ms, 2)] for r in rows])
+
+
+def compute_scheme(setting: str, scheme: str, n_objects: int = 1500,
+                   n_probes: int = 24, busy: bool = False,
+                   seed: int = 0) -> dict:
+    """Scenario compute: one scheme's latency rows (all target sizes)."""
+    rows = run(setting_by_name(setting), schemes=[scheme],
+               n_objects=n_objects, n_probes=n_probes, busy=busy, seed=seed)
+    return {"rows": rows_of(rows)}
+
+
+def scenarios(setting: str, n_objects: int | None = None,
+              schemes: list[str] | None = None) -> list[Scenario]:
+    """One unit per scheme; each measures every target object size."""
+    st = setting_by_name(setting)
+    names = schemes or default_schemes(st)
+    if n_objects is None:
+        n_objects = 1500 if st.name == "W1" else 8000
+    group = canonical_json(["fig11_fig12", setting, n_objects])
+    return [scenario(compute_scheme, name=s, seed_group=group,
+                     setting=setting, scheme=s, n_objects=n_objects)
+            for s in names]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, LatencyRow))

@@ -21,6 +21,15 @@ from repro.experiments.common import (
     nearest_candidates,
     request_size_targets,
     sample_workload,
+    setting_by_name,
+)
+from repro.runner import (
+    ExperimentResult,
+    Scenario,
+    canonical_json,
+    rows_of,
+    scenario,
+    typed_rows,
 )
 
 
@@ -70,3 +79,24 @@ def to_text(rows: list[BandwidthRow]) -> str:
         [[f"{r.client_gbps:.0f}Gbps", round(r.transfer_ms), round(r.repair_ms),
           round(r.degraded_ms), f"{r.pipelining_saving * 100:.1f}%"]
          for r in rows])
+
+
+def compute_bandwidth(setting: str, gbps: float, n_objects: int = 1500,
+                      n_requests: int = 25, seed: int = 0) -> dict:
+    """Scenario compute: one client-bandwidth grid point."""
+    rows = run(setting_by_name(setting), bandwidths=(gbps,),
+               n_objects=n_objects, n_requests=n_requests, seed=seed)
+    return {"rows": rows_of(rows)}
+
+
+def scenarios(setting: str = "W1", n_objects: int | None = None,
+              bandwidths: tuple[float, ...] = (1.0, 2.0, 4.0)) -> list[Scenario]:
+    n = n_objects if n_objects is not None else 1500
+    group = canonical_json(["fig13", setting, n])
+    return [scenario(compute_bandwidth, name=f"{gbps:.0f}gbps",
+                     seed_group=group, setting=setting, gbps=gbps, n_objects=n)
+            for gbps in bandwidths]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, BandwidthRow))

@@ -15,7 +15,9 @@ from repro.experiments.common import (
     WorkloadSetting,
     format_table,
     sample_workload,
+    setting_by_name,
 )
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 KB = 1 << 10
 MB = 1 << 20
@@ -60,3 +62,20 @@ def to_text(points: list[QPoint], setting: WorkloadSetting = W1_SETTING) -> str:
         ["q", f"Average chunk size ({label})"],
         [[p.q, round(p.average_chunk_size / unit, 1)] for p in points])
     return table + f"\n\nPeak at q={best_q(points)} (paper: 2 or 3)"
+
+
+def compute(setting: str = "W1", n_objects: int = 4000, seed: int = 0) -> dict:
+    """Scenario compute: the q sweep for one workload setting."""
+    points = run(setting_by_name(setting), n_objects=n_objects, seed=seed)
+    return {"rows": rows_of(points), "meta": {"setting": setting}}
+
+
+def scenarios(setting: str = "W1",
+              n_objects: int | None = None) -> list[Scenario]:
+    return [scenario(compute, name="q-sweep", setting=setting,
+                     n_objects=n_objects if n_objects is not None else 5000)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    setting = setting_by_name(results[0].meta["setting"])
+    return to_text(typed_rows(results, QPoint), setting)

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.codes import ClayCode
 from repro.experiments.common import format_table
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 
 @dataclass(frozen=True)
@@ -57,3 +58,17 @@ def to_text(rows: list[CaseRow]) -> str:
         [[r.case, node_names(r.failed_nodes), r.runs_per_helper,
           r.run_length_subchunks, r.subchunks_read_per_helper,
           round(r.read_fraction, 3)] for r in rows])
+
+
+def compute(k: int = 10, r: int = 4) -> dict:
+    """Scenario compute: the Clay repair-pattern cases (deterministic)."""
+    return {"rows": rows_of(run(k=k, r=r))}
+
+
+def scenarios(k: int = 10, r: int = 4) -> list[Scenario]:
+    return [scenario(compute, name="repair-patterns", seeded=False, k=k, r=r)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, CaseRow))
+

@@ -21,6 +21,7 @@ from repro.cluster.disk import DiskModel
 from repro.codes import ClayCode
 from repro.core.pipeline import PipelineStep, degraded_read_time
 from repro.experiments.common import format_table
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 MB = 1 << 20
 CLIENT_BW = 125 * MB  # 1 Gbps
@@ -109,3 +110,16 @@ def to_text(points: list[ChunkSizePoint]) -> str:
         ["Chunk size", "Degraded read (ms)", "Recovery disk bw (MB/s)"],
         [[f"{p.chunk_size // MB}MB", round(p.degraded_read_time * 1000),
           round(p.recovery_bandwidth / MB, 1)] for p in points])
+
+
+def compute() -> dict:
+    """Scenario compute: the analytic chunk-size dilemma curve."""
+    return {"rows": rows_of(run())}
+
+
+def scenarios() -> list[Scenario]:
+    return [scenario(compute, name="chunk-size", seeded=False)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, ChunkSizePoint))

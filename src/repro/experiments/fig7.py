@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.common import format_table
+from repro.runner import ExperimentResult, Scenario, scenario
 from repro.trace import AliTraceModel, RequestSampler, byte_cdf
 
 KB = 1 << 10
@@ -57,3 +58,29 @@ def to_text(result: TraceCdfs) -> str:
     table = format_table(["Object size", "Capacity CDF", "Read traffic CDF"], rows)
     return (table + f"\n\nCapacity in objects > 4MB: "
             f"{result.capacity_above_4mb * 100:.1f}% (paper: > 97.7%)")
+
+
+def compute(n_objects: int = 100_000, points: int = 21, seed: int = 0) -> dict:
+    """Scenario compute: the byte-CDF grid as one row per grid point."""
+    result = run(n_objects=n_objects, seed=seed, points=points)
+    rows = [{"size": float(g), "capacity_cdf": float(c),
+             "read_traffic_cdf": float(t)}
+            for g, c, t in zip(result.grid, result.capacity_cdf,
+                               result.read_traffic_cdf)]
+    return {"rows": rows,
+            "meta": {"capacity_above_4mb": result.capacity_above_4mb}}
+
+
+def scenarios(n_objects: int | None = None) -> list[Scenario]:
+    return [scenario(compute, name="trace-cdf",
+                     n_objects=n_objects if n_objects is not None else 60_000)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    rows = [row for r in results for row in r.rows]
+    result = TraceCdfs(
+        grid=np.array([r["size"] for r in rows]),
+        capacity_cdf=np.array([r["capacity_cdf"] for r in rows]),
+        read_traffic_cdf=np.array([r["read_traffic_cdf"] for r in rows]),
+        capacity_above_4mb=results[0].meta["capacity_above_4mb"])
+    return to_text(result)

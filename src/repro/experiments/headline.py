@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments import tradeoff
 from repro.experiments.common import W1_SETTING, W2_SETTING, format_table
 from repro.experiments.tradeoff import TradeoffResult, run as run_tradeoff
+from repro.runner import ExperimentResult, Scenario
 
 GB = 1 << 30
 
@@ -66,3 +68,28 @@ def to_text(r: HeadlineResult) -> str:
          "1.02x"],
     ]
     return format_table(["Metric", "Measured", "Paper"], rows)
+
+
+def scenarios(n_objects_w1: int | None = None,
+              n_objects_w2: int | None = None) -> list[Scenario]:
+    """The W1 and W2 tradeoff units the headline ratios derive from.
+
+    These are :func:`tradeoff.compute_scheme` units, so a prior ``fig9`` /
+    ``fig10`` run at matching scale serves them straight from cache.
+    """
+    w1 = tradeoff.scenarios(
+        "W1", n_objects=n_objects_w1 if n_objects_w1 is not None else 3000,
+        schemes=["Geo-4M", "RS", "LRC"], include_busy=False)
+    w2 = tradeoff.scenarios(
+        "W2", n_objects=n_objects_w2 if n_objects_w2 is not None else 40_000,
+        schemes=["Geo-128K", "RS"], include_busy=False)
+    return ([s.prefixed("w1") for s in w1] + [s.prefixed("w2") for s in w2])
+
+
+def render(results: list[ExperimentResult]) -> str:
+    by_setting: dict[str, list[ExperimentResult]] = {}
+    for r in results:
+        by_setting.setdefault(r.meta["setting"], []).append(r)
+    w1 = tradeoff.from_results(by_setting["W1"])
+    w2 = tradeoff.from_results(by_setting["W2"])
+    return to_text(run(w1=w1, w2=w2))

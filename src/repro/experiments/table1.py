@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.codes import ClayCode, LRCCode, RSCode
 from repro.experiments.common import format_table
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 
 @dataclass(frozen=True)
@@ -44,3 +45,17 @@ def to_text(rows: list[CodeRow]) -> str:
         ["Code", "MDS", "Read traffic", "Storage", "Sub-packetization"],
         [[r.name, "Yes" if r.is_mds else "No", round(r.read_traffic, 2),
           f"{r.storage_percent:.0f}%", r.sub_packetization] for r in rows])
+
+
+def compute(k: int = 10, r: int = 4, lrc_locals: int = 2) -> dict:
+    """Scenario compute: the code-comparison rows (deterministic)."""
+    return {"rows": rows_of(run(k=k, r=r, lrc_locals=lrc_locals))}
+
+
+def scenarios(k: int = 10, r: int = 4, lrc_locals: int = 2) -> list[Scenario]:
+    return [scenario(compute, name="codes", seeded=False,
+                     k=k, r=r, lrc_locals=lrc_locals)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, CodeRow))

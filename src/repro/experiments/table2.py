@@ -11,6 +11,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.common import W1_SETTING, W2_SETTING, format_table
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 from repro.trace import RequestSampler
 
 KB = 1 << 10
@@ -67,3 +68,18 @@ def to_text(rows: list[WorkloadRow]) -> str:
           f"{fmt(r.mean_object_size)} ({fmt(r.paper_mean_object)})",
           f"{fmt(r.mean_request_size)} ({fmt(r.paper_mean_request)})",
           r.n_objects, fmt(r.total_capacity)] for r in rows])
+
+
+def compute(n_objects: int = 40_000, seed: int = 0) -> dict:
+    """Scenario compute: the Table 2 workload statistics."""
+    return {"rows": rows_of(run(n_objects=n_objects, seed=seed))}
+
+
+def scenarios(n_objects: int | None = None) -> list[Scenario]:
+    return [scenario(compute, name="workloads",
+                     n_objects=n_objects if n_objects is not None else 30_000)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, WorkloadRow))
+

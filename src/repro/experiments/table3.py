@@ -6,8 +6,10 @@ per disk (reads + writes) and received per node over the recovery makespan.
 
 from __future__ import annotations
 
+from repro.experiments import tradeoff
 from repro.experiments.common import WorkloadSetting, format_table
 from repro.experiments.tradeoff import TradeoffResult, run as run_tradeoff
+from repro.runner import ExperimentResult, Scenario
 
 MB = 1 << 20
 
@@ -25,3 +27,14 @@ def to_text(result: TradeoffResult) -> str:
              round(r.network_bandwidth / MB, 1)] for r in result.results]
     return (f"[{result.setting_name}]\n"
             + format_table(["Scheme", "Disk (MB/s)", "Network (MB/s)"], rows))
+
+
+def scenarios(setting: str, n_objects: int | None = None,
+              schemes: list[str] | None = None) -> list[Scenario]:
+    """Same recovery grid as Figures 9/10, but without busy reruns."""
+    return tradeoff.scenarios(setting, n_objects=n_objects, n_requests=4,
+                              schemes=schemes, include_busy=False)
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(tradeoff.from_results(results))

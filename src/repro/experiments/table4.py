@@ -21,7 +21,9 @@ from repro.experiments.common import (
     WorkloadSetting,
     format_table,
     sample_workload,
+    setting_by_name,
 )
+from repro.runner import ExperimentResult, Scenario, rows_of, scenario, typed_rows
 
 MB = 1 << 20
 
@@ -105,3 +107,19 @@ def to_text(rows: list[RangeComparisonRow]) -> str:
         ["Layout", "Read size", "x range", "x object", "Pipelining"],
         [[r.layout, classify(r), round(r.mean_read_over_range, 2),
           round(r.mean_read_over_object, 2), r.pipelining] for r in rows])
+
+
+def compute(setting: str = "W1", n_objects: int = 400, seed: int = 0) -> dict:
+    """Scenario compute: all three layout rows (one cheap analytic pass)."""
+    rows = run(setting_by_name(setting), n_objects=n_objects, seed=seed)
+    return {"rows": rows_of(rows)}
+
+
+def scenarios(setting: str = "W1",
+              n_objects: int | None = None) -> list[Scenario]:
+    return [scenario(compute, name="range-comparison", setting=setting,
+                     n_objects=n_objects if n_objects is not None else 500)]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, RangeComparisonRow))

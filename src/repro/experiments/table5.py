@@ -21,6 +21,15 @@ from repro.experiments.common import (
     nearest_candidates,
     request_size_targets,
     sample_workload,
+    setting_by_name,
+)
+from repro.runner import (
+    ExperimentResult,
+    Scenario,
+    canonical_json,
+    rows_of,
+    scenario,
+    typed_rows,
 )
 
 MB = 1 << 20
@@ -35,44 +44,57 @@ class LayoutSummaryRow:
     recovery_disk_bandwidth: float
 
 
-def run(setting: WorkloadSetting = W1_SETTING, n_objects: int = 1200,
-        n_requests: int = 15, seed: int = 0) -> list[LayoutSummaryRow]:
-    """Run the experiment; returns its result rows."""
-    schemes = {
+def _scheme_for(layout_name: str, setting: WorkloadSetting) -> str:
+    return {
         "Geometric": f"Geo-{'4M' if setting.name == 'W1' else '128K'}",
         "Stripe": "Stripe",
         "Contiguous": f"Con-{'64M' if setting.name == 'W1' else '512K'}",
-    }
+    }[layout_name]
+
+
+LAYOUT_NAMES = ("Geometric", "Stripe", "Contiguous")
+
+
+def _measure_layout(layout_name: str, setting: WorkloadSetting,
+                    n_objects: int, n_requests: int,
+                    seed: int) -> LayoutSummaryRow:
+    """One summary row.  The workload sample and request targets depend
+    only on (setting, n_objects, seed), so per-layout units reproduce the
+    monolithic loop exactly."""
     sizes = sample_workload(setting, n_objects, seed)
     config = cluster_config(setting, n_objects)
     targets = request_size_targets(setting, sizes, n_requests, seed + 1)
-    rows = []
-    for layout_name, scheme in schemes.items():
-        system = build_system(scheme, setting, config)
-        system.ingest(sizes)
-        requests = nearest_candidates(system.catalog.objects, targets)
-        degraded = system.measure_degraded_reads(requests, None)
-        efficiency = float(np.mean(
-            [1.0 - r.total_time / (r.repair_time + r.transfer_time)
-             for r in degraded if r.repair_time + r.transfer_time > 0]))
-        amplification = float(np.mean(
-            [system.catalog.placement_of(o, 0).read_amplification
-             for o in requests]))
-        report = system.run_recovery(0)
-        if layout_name == "Geometric":
-            chunk_class = "Small -> Large"
-        elif layout_name == "Stripe":
-            chunk_class = "Small"
-        else:
-            chunk_class = "Large"
-        rows.append(LayoutSummaryRow(
-            layout=layout_name,
-            chunk_size_class=chunk_class,
-            pipelining_efficiency=efficiency,
-            read_amplification=amplification,
-            recovery_disk_bandwidth=report.disk_bandwidth,
-        ))
-    return rows
+    system = build_system(_scheme_for(layout_name, setting), setting, config)
+    system.ingest(sizes)
+    requests = nearest_candidates(system.catalog.objects, targets)
+    degraded = system.measure_degraded_reads(requests, None)
+    efficiency = float(np.mean(
+        [1.0 - r.total_time / (r.repair_time + r.transfer_time)
+         for r in degraded if r.repair_time + r.transfer_time > 0]))
+    amplification = float(np.mean(
+        [system.catalog.placement_of(o, 0).read_amplification
+         for o in requests]))
+    report = system.run_recovery(0)
+    if layout_name == "Geometric":
+        chunk_class = "Small -> Large"
+    elif layout_name == "Stripe":
+        chunk_class = "Small"
+    else:
+        chunk_class = "Large"
+    return LayoutSummaryRow(
+        layout=layout_name,
+        chunk_size_class=chunk_class,
+        pipelining_efficiency=efficiency,
+        read_amplification=amplification,
+        recovery_disk_bandwidth=report.disk_bandwidth,
+    )
+
+
+def run(setting: WorkloadSetting = W1_SETTING, n_objects: int = 1200,
+        n_requests: int = 15, seed: int = 0) -> list[LayoutSummaryRow]:
+    """Run the experiment; returns its result rows."""
+    return [_measure_layout(name, setting, n_objects, n_requests, seed)
+            for name in LAYOUT_NAMES]
 
 
 def to_text(rows: list[LayoutSummaryRow]) -> str:
@@ -101,3 +123,24 @@ def to_text(rows: list[LayoutSummaryRow]) -> str:
           f"{amp_label(r.read_amplification)} ({r.read_amplification:.2f}x)",
           f"{bw_label(r.recovery_disk_bandwidth)} "
           f"({r.recovery_disk_bandwidth / MB:.0f} MB/s)"] for r in rows])
+
+
+def compute_layout(layout: str, setting: str = "W1", n_objects: int = 1200,
+                   n_requests: int = 15, seed: int = 0) -> dict:
+    """Scenario compute: one layout's summary row."""
+    row = _measure_layout(layout, setting_by_name(setting), n_objects,
+                          n_requests, seed)
+    return {"rows": rows_of([row])}
+
+
+def scenarios(setting: str = "W1",
+              n_objects: int | None = None) -> list[Scenario]:
+    n = n_objects if n_objects is not None else 1200
+    group = canonical_json(["table5", setting, n])
+    return [scenario(compute_layout, name=name.lower(), seed_group=group,
+                     layout=name, setting=setting, n_objects=n)
+            for name in LAYOUT_NAMES]
+
+
+def render(results: list[ExperimentResult]) -> str:
+    return to_text(typed_rows(results, LayoutSummaryRow))

@@ -28,6 +28,15 @@ from repro.experiments.common import (
     request_size_targets,
     sample_workload,
     scale_to_paper,
+    setting_by_name,
+)
+from repro.runner import (
+    ExperimentResult,
+    Scenario,
+    canonical_json,
+    rows_of,
+    scenario,
+    typed_rows,
 )
 
 MB = 1 << 20
@@ -108,6 +117,59 @@ def run(setting: WorkloadSetting, n_objects: int | None = None,
             network_bandwidth=report.network_bandwidth,
         ))
     return TradeoffResult(setting.name, n_objects, int(sizes.sum()), results)
+
+
+def compute_scheme(setting: str, scheme: str, n_objects: int | None = None,
+                   n_requests: int = 30, include_busy: bool = True,
+                   failed_disk: int = 0, seed: int = 0) -> dict:
+    """Scenario compute: one scheme's grid point as JSON-safe rows.
+
+    The workload sample and request targets depend only on (setting,
+    n_objects, seed), so per-scheme units reproduce exactly the rows of a
+    monolithic ``run()`` over the same scheme list.
+    """
+    result = run(setting_by_name(setting), n_objects=n_objects,
+                 n_requests=n_requests, schemes=[scheme],
+                 include_busy=include_busy, failed_disk=failed_disk,
+                 seed=seed)
+    return {"rows": rows_of(result.results),
+            "meta": {"setting": result.setting_name,
+                     "n_objects": result.n_objects,
+                     "total_bytes": result.total_bytes}}
+
+
+def scenarios(setting: str, n_objects: int | None = None,
+              n_requests: int = 30, schemes: list[str] | None = None,
+              include_busy: bool = True) -> list[Scenario]:
+    """One scenario unit per scheme of the Figure 9/10 grid.
+
+    All units share a seed group: every scheme must draw the *same*
+    workload sample and request targets to be comparable, and the group
+    id never mentions the scheme list, so adding a scheme leaves every
+    other scheme's rows untouched.
+    """
+    names = schemes or setting_by_name(setting).scheme_names
+    group = canonical_json(["tradeoff", setting, n_objects, n_requests])
+    return [scenario(compute_scheme, name=s, seed_group=group,
+                     setting=setting, scheme=s,
+                     n_objects=n_objects, n_requests=n_requests,
+                     include_busy=include_busy)
+            for s in names]
+
+
+def from_results(results: list[ExperimentResult]) -> TradeoffResult:
+    """Rebuild the typed result from per-scheme runner rows."""
+    if not results:
+        raise ValueError("no tradeoff results to combine")
+    meta = results[0].meta
+    return TradeoffResult(meta["setting"], meta["n_objects"],
+                          meta["total_bytes"],
+                          typed_rows(results, SchemeResult))
+
+
+def render(results: list[ExperimentResult]) -> str:
+    """Pure rendering of per-scheme runner results."""
+    return to_text(from_results(results))
 
 
 def to_text(result: TradeoffResult) -> str:

@@ -30,6 +30,12 @@ from repro.obs.observer import (
     observed,
     set_default_observer,
 )
+from repro.obs.snapshot import (
+    merge_snapshots,
+    merge_trace_events,
+    snapshot,
+    summarize,
+)
 from repro.obs.tracer import Span, SpanHandle, Tracer
 
 __all__ = [
@@ -44,8 +50,12 @@ __all__ = [
     "EngineHooks",
     "Observer",
     "get_default_observer",
+    "merge_snapshots",
+    "merge_trace_events",
     "observed",
     "set_default_observer",
+    "snapshot",
+    "summarize",
     "Span",
     "SpanHandle",
     "Tracer",

@@ -4,15 +4,25 @@ Instrumented code takes an ``obs`` argument defaulting to ``None`` — the
 no-observer case costs one ``is not None`` test per operation, which keeps
 the simulator's benchmark numbers unchanged when observability is off.
 
-A process-wide *default observer* lets entry points (the experiment CLI's
-``--trace`` / ``--metrics`` flags) switch on observability for code paths
-that build their own :class:`~repro.cluster.RCStor` systems internally,
-without threading an argument through every experiment module.
+A *context-scoped default observer* lets entry points (the experiment
+runner, the CLI's ``--trace`` / ``--metrics`` flags) switch on
+observability for code paths that build their own
+:class:`~repro.cluster.RCStor` systems internally, without threading an
+argument through every experiment module.  The default lives in a
+:class:`contextvars.ContextVar`, not a module global: each scenario unit
+the runner executes — whether inline or inside a worker process — installs
+its own observer with :func:`observed` and ships a summary back, so
+parallel and serial runs observe bit-identically.  The legacy
+process-global mutators :func:`set_default_observer` /
+:func:`get_default_observer` remain as thin deprecated shims over the
+context variable.
 """
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
+from contextvars import ContextVar
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
@@ -64,33 +74,41 @@ class Observer:
         return self.metrics.summary()
 
 
-_default_observer: Observer | None = None
+_default_observer: ContextVar[Observer | None] = ContextVar(
+    "repro_default_observer", default=None)
 
 
 def set_default_observer(obs: Observer | None) -> Observer | None:
-    """Install (or clear, with ``None``) the process-wide default observer.
+    """Install (or clear, with ``None``) the default observer.
 
     Returns the previous default so callers can restore it.
+
+    .. deprecated::
+        Use :func:`observed` instead — it scopes the observer to a block
+        (and, via :class:`contextvars.ContextVar`, to the current execution
+        context), which is what the parallel experiment runner requires.
     """
-    global _default_observer
-    previous = _default_observer
-    _default_observer = obs
+    warnings.warn(
+        "set_default_observer() is deprecated; scope observers with "
+        "repro.obs.observed() instead", DeprecationWarning, stacklevel=2)
+    previous = _default_observer.get()
+    _default_observer.set(obs)
     return previous
 
 
 def get_default_observer() -> Observer | None:
-    """The process-wide default observer, or ``None`` when disabled."""
-    return _default_observer
+    """The context's default observer, or ``None`` when disabled."""
+    return _default_observer.get()
 
 
 @contextmanager
 def observed(obs: Observer | None = None):
     """Context manager: install ``obs`` (a fresh Observer by default) as the
-    process-wide default for the duration of the block, yielding it."""
+    context-scoped default for the duration of the block, yielding it."""
     if obs is None:
         obs = Observer()
-    previous = set_default_observer(obs)
+    token = _default_observer.set(obs)
     try:
         yield obs
     finally:
-        set_default_observer(previous)
+        _default_observer.reset(token)

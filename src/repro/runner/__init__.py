@@ -1,0 +1,54 @@
+"""Declarative scenario runner: parallel, cached, machine-readable.
+
+The paper's evaluation is a grid of (scheme x workload x scale x seed)
+simulations.  This package turns each grid point into a
+:class:`Scenario` — a pure compute function plus JSON-safe parameters,
+content-hashed for identity — and executes whole batches with
+:func:`run_scenarios`: deterministic per-unit seed derivation, in-run
+dedup, a JSON result cache under ``results/cache/``, and an optional
+process-pool fan-out.  Every unit produces an :class:`ExperimentResult`
+(typed rows + provenance + observability snapshot) that is bit-identical
+across serial, parallel and cached executions.
+
+Experiments (:mod:`repro.experiments`) declare ``scenarios()`` /
+``render()`` pairs on top of this; the CLI
+(``python -m repro.experiments``) adds ``--jobs/--seed/--no-cache/--json``.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, repro_version
+from repro.runner.executor import (
+    Capture,
+    RunOptions,
+    RunReport,
+    UnitOutcome,
+    execute_unit,
+    run_scenarios,
+)
+from repro.runner.result import (
+    RESULT_SCHEMA,
+    ExperimentResult,
+    Provenance,
+    rows_of,
+    typed_rows,
+)
+from repro.runner.scenario import Scenario, canonical_json, scenario
+
+__all__ = [
+    "Capture",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentResult",
+    "Provenance",
+    "RESULT_SCHEMA",
+    "ResultCache",
+    "RunOptions",
+    "RunReport",
+    "Scenario",
+    "UnitOutcome",
+    "canonical_json",
+    "execute_unit",
+    "repro_version",
+    "rows_of",
+    "run_scenarios",
+    "scenario",
+    "typed_rows",
+]

@@ -1,0 +1,113 @@
+"""JSON result artifacts under ``results/cache/``.
+
+A cache entry is one :class:`~repro.runner.result.ExperimentResult`
+wrapped with its key — ``(scenario content hash, derived seed, package
+version, result schema)`` — so any of
+
+* a parameter change (new content hash),
+* a different ``--seed`` (new derived seed),
+* a simulator version bump, or
+* a result-contract schema bump
+
+forces a recompute.  Entries are written atomically (temp file +
+``os.replace``) and validated on read: unparsable, truncated, or
+key-mismatched files are treated as misses, never as errors.
+
+Layout: one file per entry, named after the (sanitized) scenario name for
+humans plus the key for correctness::
+
+    results/cache/fig9/Geo-4M.1f2e3d4c5b6a.s2913441678.v1.0.0.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.runner.result import RESULT_SCHEMA, ExperimentResult
+from repro.runner.scenario import Scenario
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+_SEGMENT_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def repro_version() -> str:
+    """The simulator version stamped into keys and provenance."""
+    from repro import __version__
+
+    return __version__
+
+
+def _sanitize(segment: str) -> str:
+    return _SEGMENT_RE.sub("-", segment) or "unit"
+
+
+class ResultCache:
+    """Content-addressed result store for scenario units."""
+
+    def __init__(self, root: str | Path | None = None,
+                 version: str | None = None):
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.version = version if version is not None else repro_version()
+
+    # ------------------------------------------------------------------
+    def key(self, scenario: Scenario, seed: int | None) -> dict[str, Any]:
+        """The identity a stored entry must match to be a hit."""
+        return {
+            "scenario_hash": scenario.content_hash(),
+            "seed": seed,
+            "version": self.version,
+            "schema": RESULT_SCHEMA,
+        }
+
+    def path(self, scenario: Scenario, seed: int | None) -> Path:
+        parts = [_sanitize(p) for p in scenario.name.split("/") if p]
+        leaf = (f"{parts[-1]}.{scenario.content_hash()[:12]}"
+                f".s{'x' if seed is None else seed}.v{self.version}.json")
+        return self.root.joinpath(*parts[:-1], leaf)
+
+    # ------------------------------------------------------------------
+    def load(self, scenario: Scenario,
+             seed: int | None) -> ExperimentResult | None:
+        """The stored result, or ``None`` on any miss or damage."""
+        path = self.path(scenario, seed)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("key") != self.key(
+                scenario, seed):
+            return None
+        try:
+            result = ExperimentResult.from_doc(doc["result"])
+        except (KeyError, TypeError):
+            return None
+        # The cached entry may have been produced under another scenario
+        # name (dedup across figures); rebind to the requesting unit.
+        result.name = scenario.name
+        return result
+
+    def store(self, scenario: Scenario, seed: int | None,
+              result: ExperimentResult) -> Path:
+        """Atomically persist ``result`` under this scenario's key."""
+        path = self.path(scenario, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"key": self.key(scenario, seed), "result": result.to_doc()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

@@ -1,0 +1,83 @@
+"""The :class:`ExperimentResult` contract: typed rows plus provenance.
+
+Every scenario unit produces one result.  ``rows`` is a list of plain
+dicts, each the :func:`dataclasses.asdict` image of one typed result row
+(``SchemeResult``, ``LatencyRow``, ...), so the same rows render to text,
+serialize to the cache, and round-trip through ``--json`` byte-identically.
+``provenance`` records everything needed to reproduce or audit the number:
+the compute function and parameters, the derived seed and the root seed it
+came from, the scenario content hash, and the simulator version.
+
+Nothing here is timing- or cache-dependent: a result is a pure function of
+its provenance, which is what makes parallel, serial and cached executions
+comparable with ``diff``.  Wall-clock and hit/miss accounting live on the
+runner's :class:`~repro.runner.executor.UnitOutcome` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Sequence, Type, TypeVar
+
+T = TypeVar("T")
+
+#: Version of the serialized result layout (bump to invalidate caches
+#: when the contract itself changes shape).
+RESULT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a result's numbers came from."""
+
+    fn: str
+    params: dict[str, Any]
+    scenario_hash: str
+    seed: int | None
+    root_seed: int | None
+    sim_version: str
+    schema: int = RESULT_SCHEMA
+
+
+@dataclass
+class ExperimentResult:
+    """One scenario unit's output: typed rows, meta scalars, provenance,
+    and (optionally) the unit's observability snapshot."""
+
+    name: str
+    rows: list[dict[str, Any]]
+    provenance: Provenance
+    meta: dict[str, Any] = field(default_factory=dict)
+    obs: dict[str, Any] | None = None
+
+    def to_doc(self) -> dict[str, Any]:
+        """The JSON-object form (deterministic for a given provenance)."""
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "rows": self.rows,
+            "meta": self.meta,
+            "provenance": asdict(self.provenance),
+        }
+        if self.obs is not None:
+            doc["obs"] = self.obs
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            name=doc["name"],
+            rows=list(doc["rows"]),
+            meta=dict(doc.get("meta", {})),
+            provenance=Provenance(**doc["provenance"]),
+            obs=doc.get("obs"),
+        )
+
+
+def rows_of(items: Iterable[Any]) -> list[dict[str, Any]]:
+    """Dataclass instances -> the row-dict list a compute function returns."""
+    return [asdict(item) for item in items]
+
+
+def typed_rows(results: Sequence[ExperimentResult], cls: Type[T]) -> list[T]:
+    """Rebuild typed rows from one or more results' row dicts."""
+    return [cls(**row) for result in results for row in result.rows]

@@ -1,0 +1,114 @@
+"""The declarative unit of experiment work: a :class:`Scenario`.
+
+A scenario names a pure compute function (by dotted ``module:function``
+path, so it pickles into worker processes) plus JSON-safe keyword
+parameters.  Its identity is the :meth:`Scenario.content_hash` of that
+pair — parameter *values*, not argument order — which keys both the result
+cache and the per-unit seed derivation:
+
+* two scenarios with the same function and parameters are the same work,
+  wherever they appear in a run;
+* a scenario's seed is derived from ``(root seed, seed key)`` through
+  :class:`numpy.random.SeedSequence` spawn keys, so adding, removing or
+  reordering scenarios never perturbs another scenario's random draws.
+
+The seed key defaults to the content hash.  Scenarios that form one
+comparison grid — e.g. every scheme of Figure 9, which must sample the
+*same* workload to be comparable — set a shared ``seed_group`` instead:
+all units in the group draw the same seed, and because the group id does
+not mention the scheme list, adding a scheme changes nobody's draws.
+
+Seed-less scenarios (``seeded=False``) model deterministic analytic
+computations (Table 1, Figure 2, ...): their compute function takes no
+``seed`` argument and their cache entry is seed-independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One schedulable unit: ``fn(**params[, seed=...]) -> payload``.
+
+    ``fn`` is a dotted ``"package.module:function"`` path; the function must
+    return a JSON-safe mapping with a ``"rows"`` list (the typed result
+    rows) and optionally ``"meta"`` (experiment-level scalars).
+    """
+
+    name: str
+    fn: str
+    params: dict[str, Any] = field(default_factory=dict)
+    seeded: bool = True
+    seed_group: str | None = None
+
+    def content_hash(self) -> str:
+        """Hex digest identifying this work item (name excluded)."""
+        doc = {"fn": self.fn, "params": self.params, "seeded": self.seeded}
+        return hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+
+    def seed_key(self) -> str:
+        """What the per-unit seed is derived from: the shared group id for
+        grid scenarios, this unit's own content hash otherwise."""
+        if self.seed_group is not None:
+            return hashlib.sha256(self.seed_group.encode()).hexdigest()
+        return self.content_hash()
+
+    def derive_seed(self, root_seed: int) -> int | None:
+        """The per-unit seed for ``root_seed``, or ``None`` if seedless.
+
+        Derivation feeds :meth:`seed_key` into a
+        :class:`~numpy.random.SeedSequence` spawn key, so the result
+        depends only on (root seed, seed key) — never on how many other
+        scenarios run alongside.
+        """
+        if not self.seeded:
+            return None
+        digest = int(self.seed_key()[:16], 16)
+        ss = np.random.SeedSequence(
+            root_seed,
+            spawn_key=(digest & 0xFFFFFFFF, (digest >> 32) & 0xFFFFFFFF))
+        return int(ss.generate_state(1, np.uint32)[0])
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the compute function."""
+        module_name, _, fn_name = self.fn.partition(":")
+        if not fn_name:
+            raise ValueError(
+                f"scenario fn {self.fn!r} is not a 'module:function' path")
+        module = importlib.import_module(module_name)
+        fn = module
+        for part in fn_name.split("."):
+            fn = getattr(fn, part)
+        return fn
+
+    def prefixed(self, prefix: str) -> "Scenario":
+        """A copy named ``prefix/name`` (identity/hash unchanged)."""
+        return replace(self, name=f"{prefix}/{self.name}")
+
+
+def scenario(fn: Callable[..., Any] | str, name: str | None = None,
+             seeded: bool = True, seed_group: str | None = None,
+             **params: Any) -> Scenario:
+    """Build a :class:`Scenario` from a module-level callable (or dotted
+    path) and its keyword parameters."""
+    if callable(fn):
+        path = f"{fn.__module__}:{fn.__qualname__}"
+        default_name = fn.__name__
+    else:
+        path = fn
+        default_name = path.rpartition(":")[2]
+    return Scenario(name=name or default_name, fn=path, params=dict(params),
+                    seeded=seeded, seed_group=seed_group)

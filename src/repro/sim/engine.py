@@ -69,6 +69,7 @@ class Process(Event):
             raise SimulationError("process target must be a generator")
         self._gen = gen
         self._hooks = env.trace_hooks
+        env._processes.append(self)
         # Start the process at the current time.
         start = Event(env)
         start.callbacks.append(self._resume)
@@ -135,6 +136,7 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._pending: set[Event] = set()
+        self._processes: list[Process] = []
         if trace_hooks is not None:
             # Shadow the class method so the untraced hot path carries no
             # per-event hook test at all.
@@ -212,3 +214,18 @@ class Environment:
         if deadline is not None:
             self.now = deadline
         return None
+
+    def close(self) -> None:
+        """Close every process generator started in this environment.
+
+        Open-ended processes abandoned at the end of a run (load
+        generators, server loops) are otherwise finalized whenever garbage
+        collection reaches them — possibly while a *later* environment
+        shares their observer, at a moment that depends on the host
+        process's allocation history.  Their ``with``-held resource grants
+        would then release into someone else's metrics.  Closing here pins
+        that cleanup to a deterministic point: releases happen in process
+        creation order at this environment's final sim time.
+        """
+        for process in self._processes:
+            process._gen.close()

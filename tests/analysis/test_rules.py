@@ -132,6 +132,19 @@ def test_lay401_respects_the_dag():
                            select=["LAY401"])) == 1
 
 
+def test_lay401_runner_layer():
+    ok = "from repro.obs import merge_snapshots\n"
+    assert lint_source(ok, "src/repro/runner/executor.py",
+                       select=["LAY401"]) == []
+    # The runner orchestrates experiments but must never import them
+    # (experiments import the runner, not the other way around) and must
+    # not reach into the simulation directly.
+    for bad in ("from repro.experiments import fig13\n",
+                "from repro.cluster import RCStor\n"):
+        assert len(lint_source(bad, "src/repro/runner/executor.py",
+                               select=["LAY401"])) == 1
+
+
 def test_lay402_mutable_default():
     source, violations = lint_fixture("lay402")
     assert flagged_lines(violations, "LAY402") == \

@@ -1,8 +1,10 @@
-"""Tests for the ``python -m repro.experiments`` runner."""
+"""Tests for the ``python -m repro.experiments`` runner CLI."""
+
+import json
 
 import pytest
 
-from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.experiments.__main__ import SPECS, main
 
 
 def test_experiment_registry_covers_the_paper():
@@ -10,30 +12,32 @@ def test_experiment_registry_covers_the_paper():
                 "fig2", "fig4", "fig7", "fig9", "fig10", "fig11", "fig12",
                 "fig13", "fig14", "breakdown", "range", "headline",
                 "ablations", "durability"}
-    assert expected == set(EXPERIMENTS)
+    assert expected == set(SPECS)
 
 
-def test_cli_table1(capsys):
-    assert main(["table1"]) == 0
+def test_cli_table1(tmp_path, capsys):
+    assert main(["table1", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "Clay(10,4)" in out
     assert "3.25" in out
 
 
-def test_cli_fig2(capsys):
-    assert main(["fig2"]) == 0
+def test_cli_fig2(tmp_path, capsys):
+    assert main(["fig2", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "D1,D2,D3,D4" in out
 
 
-def test_cli_with_scale_flag(capsys):
-    assert main(["fig14", "--n-objects", "500"]) == 0
+def test_cli_with_scale_flag(tmp_path, capsys):
+    assert main(["fig14", "--n-objects", "500",
+                 "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "Peak at q=" in out
 
 
-def test_cli_workload_flag(capsys):
-    assert main(["breakdown", "--workload", "W2", "--n-objects", "2000"]) == 0
+def test_cli_workload_flag(tmp_path, capsys):
+    assert main(["breakdown", "--workload", "W2", "--n-objects", "2000",
+                 "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "Geo-128K" in out
 
@@ -41,3 +45,81 @@ def test_cli_workload_flag(capsys):
 def test_cli_rejects_unknown():
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+def test_cli_reports_cache_status(tmp_path, capsys):
+    args = ["table1", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    assert "0/1 units cached" in capsys.readouterr().out
+    assert main(args) == 0
+    assert "1/1 units cached" in capsys.readouterr().out
+
+
+def test_cli_no_cache_skips_the_cache(tmp_path, capsys):
+    args = ["table1", "--cache-dir", str(tmp_path), "--no-cache"]
+    assert main(args) == 0
+    assert main(args) == 0
+    assert "0/1 units cached" in capsys.readouterr().out
+    assert list(tmp_path.rglob("*.json")) == []
+
+
+def test_cli_json_output_is_machine_readable(tmp_path, capsys):
+    assert main(["table1", "--json", "--cache-dir", str(tmp_path)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert doc["root_seed"] == 0
+    (result,) = doc["experiments"]["table1"]
+    assert result["name"] == "table1/codes"
+    assert any(row["name"] == "Clay(10,4)" for row in result["rows"])
+    assert result["provenance"]["fn"] == "repro.experiments.table1:compute"
+
+
+def test_cli_json_is_identical_across_jobs_and_cache(tmp_path, capsys):
+    """The acceptance invariant at CLI level: byte-identical --json output
+    for serial, parallel, and cache-served executions."""
+    args = ["fig13", "--n-objects", "100", "--seed", "9", "--json",
+            "--cache-dir", str(tmp_path)]
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel_cold = capsys.readouterr().out
+    assert main(args) == 0  # warm: served from cache
+    warm = capsys.readouterr().out
+    assert main(args + ["--no-cache"]) == 0  # serial, recomputed
+    serial = capsys.readouterr().out
+    assert parallel_cold == warm == serial
+
+
+def test_cli_seed_changes_simulated_rows(tmp_path, capsys):
+    args = ["fig13", "--n-objects", "100", "--json",
+            "--cache-dir", str(tmp_path)]
+    assert main(args + ["--seed", "1"]) == 0
+    one = capsys.readouterr().out
+    assert main(args + ["--seed", "2"]) == 0
+    two = capsys.readouterr().out
+    assert one != two
+
+
+def test_cli_bench_out_accounts_units(tmp_path, capsys):
+    bench = tmp_path / "BENCH_experiments.json"
+    assert main(["fig13", "--n-objects", "100", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--bench-out", str(bench)]) == 0
+    capsys.readouterr()
+    doc = json.loads(bench.read_text())
+    assert doc["jobs"] == 2
+    assert doc["totals"]["units"] == 3
+    assert doc["totals"]["misses"] == 3
+    assert {u["name"] for u in doc["units"]} == \
+        {"fig13/1gbps", "fig13/2gbps", "fig13/4gbps"}
+    for unit in doc["units"]:
+        assert unit["wall_s"] >= 0
+        assert unit["sim_time_s"] > 0
+
+
+def test_cli_zero_n_objects_is_not_treated_as_unset(tmp_path, capsys):
+    """Falsy values must win over defaults (`is None` semantics): 0 objects
+    is an explicit scale, not a request for the per-experiment default."""
+    assert main(["fig14", "--n-objects", "0", "--json",
+                 "--cache-dir", str(tmp_path)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (result,) = doc["experiments"]["fig14"]
+    assert result["provenance"]["params"]["n_objects"] == 0

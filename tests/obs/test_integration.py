@@ -153,7 +153,8 @@ def test_cli_trace_and_metrics_flags(tmp_path, capsys):
 
     out = tmp_path / "trace.json"
     assert main(["fig13", "--n-objects", "200", "--n-requests", "3",
-                 "--trace", str(out), "--metrics"]) == 0
+                 "--trace", str(out), "--metrics",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
     printed = capsys.readouterr().out
     assert "Pipelining saving" in printed
     assert "disk.utilization" in printed

@@ -91,10 +91,13 @@ def test_default_observer_context():
     assert get_default_observer() is None
 
 
-def test_set_default_observer_returns_previous():
+def test_set_default_observer_is_deprecated_but_works():
     obs = Observer()
-    assert set_default_observer(obs) is None
-    assert set_default_observer(None) is obs
+    with pytest.warns(DeprecationWarning):
+        assert set_default_observer(obs) is None
+    with pytest.warns(DeprecationWarning):
+        assert set_default_observer(None) is obs
+    assert get_default_observer() is None
 
 
 def test_engine_hooks_count_into_registry():

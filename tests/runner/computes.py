@@ -1,0 +1,25 @@
+"""Importable toy compute functions for runner tests.
+
+Scenario functions resolve by dotted ``module:function`` path, so the
+test fixtures must live in a real module, not a test body.
+"""
+
+CALLS = []
+
+
+def toy(x=1, seed=0):
+    """A seeded compute: rows depend on (x, seed) only."""
+    CALLS.append(("toy", x, seed))
+    return {"rows": [{"x": x, "doubled": 2 * x, "seed": seed}],
+            "meta": {"x": x}}
+
+
+def toy_seedless(x=1):
+    """A deterministic analytic compute (no seed parameter)."""
+    CALLS.append(("toy_seedless", x))
+    return {"rows": [{"x": x}]}
+
+
+def bad_payload(seed=0):
+    """Violates the contract: no 'rows' key."""
+    return {"values": [seed]}

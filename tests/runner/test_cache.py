@@ -1,0 +1,95 @@
+"""Result-cache behaviour: keys, invalidation, and damage tolerance."""
+
+import json
+
+from repro.runner import ExperimentResult, Provenance, ResultCache, scenario
+
+from tests.runner import computes
+
+
+def _result(unit, seed=11, rows=None):
+    return ExperimentResult(
+        name=unit.name,
+        rows=rows if rows is not None else [{"x": 1, "doubled": 2,
+                                             "seed": seed}],
+        provenance=Provenance(fn=unit.fn, params=unit.params,
+                              scenario_hash=unit.content_hash(), seed=seed,
+                              root_seed=0, sim_version="1.0.0"))
+
+
+def test_store_load_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path, version="1.0.0")
+    unit = scenario(computes.toy, name="u", x=1)
+    stored = _result(unit)
+    path = cache.store(unit, 11, stored)
+    assert path.is_file()
+    loaded = cache.load(unit, 11)
+    assert loaded is not None
+    assert loaded.rows == stored.rows
+    assert loaded.provenance == stored.provenance
+
+
+def test_param_change_invalidates(tmp_path):
+    cache = ResultCache(tmp_path, version="1.0.0")
+    unit = scenario(computes.toy, name="u", x=1)
+    cache.store(unit, 11, _result(unit))
+    assert cache.load(scenario(computes.toy, name="u", x=2), 11) is None
+
+
+def test_seed_change_invalidates(tmp_path):
+    cache = ResultCache(tmp_path, version="1.0.0")
+    unit = scenario(computes.toy, name="u", x=1)
+    cache.store(unit, 11, _result(unit))
+    assert cache.load(unit, 12) is None
+    assert cache.load(unit, 11) is not None
+
+
+def test_version_change_invalidates(tmp_path):
+    unit = scenario(computes.toy, name="u", x=1)
+    ResultCache(tmp_path, version="1.0.0").store(unit, 11, _result(unit))
+    assert ResultCache(tmp_path, version="1.0.1").load(unit, 11) is None
+
+
+def test_corrupted_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path, version="1.0.0")
+    unit = scenario(computes.toy, name="u", x=1)
+    path = cache.store(unit, 11, _result(unit))
+    path.write_text("{ truncated", encoding="utf-8")
+    assert cache.load(unit, 11) is None
+    path.write_text(json.dumps({"key": "wrong-shape"}), encoding="utf-8")
+    assert cache.load(unit, 11) is None
+    path.write_text(json.dumps({"key": cache.key(unit, 11),
+                                "result": {"rows": []}}), encoding="utf-8")
+    assert cache.load(unit, 11) is None  # result doc missing fields
+
+
+def test_tampered_key_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path, version="1.0.0")
+    unit = scenario(computes.toy, name="u", x=1)
+    path = cache.store(unit, 11, _result(unit))
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    doc["key"]["scenario_hash"] = "0" * 64
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    assert cache.load(unit, 11) is None
+
+
+def test_hit_rebinds_name_for_cross_figure_dedup(tmp_path):
+    """The same work cached under fig9 serves a headline unit verbatim,
+    renamed to the requesting scenario."""
+    cache = ResultCache(tmp_path, version="1.0.0")
+    unit = scenario(computes.toy, name="fig9/u", x=1)
+    cache.store(unit, 11, _result(unit))
+    twin = scenario(computes.toy, name="headline/u", x=1)
+    # Distinct file paths, same key: a fresh store under the twin's name.
+    assert cache.load(twin, 11) is None
+    cache.store(twin, 11, _result(unit))
+    loaded = cache.load(twin, 11)
+    assert loaded is not None and loaded.name == "headline/u"
+
+
+def test_seedless_entries_key_on_none(tmp_path):
+    cache = ResultCache(tmp_path, version="1.0.0")
+    unit = scenario(computes.toy_seedless, name="u", seeded=False, x=1)
+    cache.store(unit, None, _result(unit, seed=None))
+    assert cache.load(unit, None) is not None
+    assert "sx" in cache.path(unit, None).name

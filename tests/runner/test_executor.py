@@ -1,0 +1,139 @@
+"""Executor semantics: caching, dedup, capture, and the parallel-identity
+invariant (same rows for any ``--jobs``)."""
+
+import json
+
+import pytest
+
+from repro.runner import Capture, RunOptions, run_scenarios, scenario
+
+from tests.runner import computes
+
+
+def _options(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", tmp_path)
+    return RunOptions(**kwargs)
+
+
+def test_cold_run_misses_then_warm_run_hits(tmp_path):
+    units = [scenario(computes.toy, name="a", x=1),
+             scenario(computes.toy, name="b", x=2)]
+    cold = run_scenarios(units, _options(tmp_path))
+    assert [o.status for o in cold.outcomes] == ["miss", "miss"]
+    assert cold.hit_rate == 0.0
+    warm = run_scenarios(units, _options(tmp_path))
+    assert [o.status for o in warm.outcomes] == ["hit", "hit"]
+    assert warm.hit_rate == 1.0
+    assert [r.rows for r in warm.results] == [r.rows for r in cold.results]
+    assert [r.provenance for r in warm.results] == \
+        [r.provenance for r in cold.results]
+
+
+def test_in_run_dedup_shares_identical_work(tmp_path):
+    before = len(computes.CALLS)
+    units = [scenario(computes.toy, name="fig9/u", x=5),
+             scenario(computes.toy, name="headline/u", x=5)]
+    report = run_scenarios(units, _options(tmp_path))
+    assert [o.status for o in report.outcomes] == ["miss", "dedup"]
+    assert len(computes.CALLS) == before + 1
+    # The shared result is rebound to each requesting unit's name.
+    assert [r.name for r in report.results] == ["fig9/u", "headline/u"]
+    assert report.results[0].rows == report.results[1].rows
+
+
+def test_no_cache_always_recomputes(tmp_path):
+    units = [scenario(computes.toy, name="a", x=1)]
+    run_scenarios(units, _options(tmp_path))
+    report = run_scenarios(units, _options(tmp_path, cache=False))
+    assert [o.status for o in report.outcomes] == ["miss"]
+    assert list(tmp_path.glob("*.json"))  # only the first run persisted
+
+
+def test_corrupted_cache_entry_falls_back_to_recompute(tmp_path):
+    units = [scenario(computes.toy, name="a", x=1)]
+    run_scenarios(units, _options(tmp_path))
+    entry, = tmp_path.glob("*.json")
+    entry.write_text("not json at all", encoding="utf-8")
+    report = run_scenarios(units, _options(tmp_path))
+    assert [o.status for o in report.outcomes] == ["miss"]
+    # ... and the recompute repaired the entry in place.
+    assert run_scenarios(units, _options(tmp_path)).hit_rate == 1.0
+
+
+def test_root_seed_threads_into_units_and_cache(tmp_path):
+    units = [scenario(computes.toy, name="a", x=1)]
+    r0 = run_scenarios(units, _options(tmp_path, seed=0))
+    r7 = run_scenarios(units, _options(tmp_path, seed=7))
+    assert r0.results[0].rows != r7.results[0].rows
+    assert r0.results[0].provenance.seed == units[0].derive_seed(0)
+    assert r7.results[0].provenance.seed == units[0].derive_seed(7)
+    assert r7.results[0].provenance.root_seed == 7
+    # Each root seed has its own cache entries.
+    assert run_scenarios(units, _options(tmp_path, seed=7)).hit_rate == 1.0
+
+
+def test_seedless_unit_runs_without_seed(tmp_path):
+    units = [scenario(computes.toy_seedless, name="s", seeded=False, x=4)]
+    report = run_scenarios(units, _options(tmp_path, seed=123))
+    assert report.results[0].provenance.seed is None
+    assert report.results[0].provenance.root_seed is None
+    assert run_scenarios(units, _options(tmp_path, seed=5)).hit_rate == 1.0
+
+
+def test_bad_payload_is_a_contract_error(tmp_path):
+    units = [scenario(computes.bad_payload, name="bad")]
+    with pytest.raises(TypeError, match="rows"):
+        run_scenarios(units, _options(tmp_path))
+
+
+def test_trace_capture_bypasses_cache_reads(tmp_path):
+    units = [scenario(computes.toy, name="a", x=1)]
+    run_scenarios(units, _options(tmp_path))
+    live = run_scenarios(units, _options(
+        tmp_path, capture=Capture(trace=True)))
+    assert [o.status for o in live.outcomes] == ["miss"]
+    assert "trace_events" in live.results[0].obs
+    # The stored entry stays slim: no trace payload in the cache file.
+    entry, = tmp_path.glob("*.json")
+    doc = json.loads(entry.read_text(encoding="utf-8"))
+    assert "trace_events" not in (doc["result"].get("obs") or {})
+
+
+def test_bench_doc_accounts_every_unit(tmp_path):
+    units = [scenario(computes.toy, name="a", x=1),
+             scenario(computes.toy, name="b", x=2)]
+    run_scenarios([units[0]], _options(tmp_path))
+    report = run_scenarios(units, _options(tmp_path))
+    doc = report.bench_doc(jobs=3)
+    assert doc["jobs"] == 3
+    assert [u["status"] for u in doc["units"]] == ["hit", "miss"]
+    assert doc["totals"]["units"] == 2
+    assert doc["totals"]["hits"] == 1 and doc["totals"]["misses"] == 1
+    assert doc["totals"]["hit_rate"] == 0.5
+    json.dumps(doc)  # must be serializable as-is
+
+
+# ----------------------------------------------------------------------
+# The headline invariant: parallel == serial, bit for bit, on real DES
+# experiments (two different ones, per the acceptance criteria).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("units_of", [
+    lambda: __import__("repro.experiments.fig13", fromlist=["x"]).scenarios(
+        "W1", n_objects=80),
+    lambda: __import__("repro.experiments.tradeoff", fromlist=["x"]).scenarios(
+        "W1", n_objects=120, n_requests=2, schemes=["Geo-4M", "RS"],
+        include_busy=False),
+], ids=["fig13", "tradeoff"])
+def test_parallel_matches_serial_bit_for_bit(units_of, tmp_path):
+    units = units_of()
+    serial = run_scenarios(units, RunOptions(jobs=1, seed=3, cache=False))
+    parallel = run_scenarios(units, RunOptions(jobs=4, seed=3, cache=False))
+    assert [r.to_doc() for r in serial.results] == \
+        [r.to_doc() for r in parallel.results]
+    # And a cached replay of the same work is the same document again.
+    warm_opts = _options(tmp_path, jobs=1, seed=3)
+    run_scenarios(units, warm_opts)
+    warm = run_scenarios(units, warm_opts)
+    assert warm.hit_rate == 1.0
+    assert [r.to_doc() for r in warm.results] == \
+        [r.to_doc() for r in serial.results]

@@ -1,0 +1,64 @@
+"""Scenario identity: content hashing and per-unit seed derivation."""
+
+from repro.runner import Scenario, scenario
+
+from tests.runner import computes
+
+
+def test_content_hash_ignores_param_order_and_name():
+    a = Scenario("a", "m:f", {"x": 1, "y": 2})
+    b = Scenario("b", "m:f", {"y": 2, "x": 1})
+    assert a.content_hash() == b.content_hash()
+
+
+def test_content_hash_changes_with_params_fn_and_seededness():
+    base = Scenario("u", "m:f", {"x": 1})
+    assert base.content_hash() != Scenario("u", "m:f", {"x": 2}).content_hash()
+    assert base.content_hash() != Scenario("u", "m:g", {"x": 1}).content_hash()
+    assert base.content_hash() != Scenario(
+        "u", "m:f", {"x": 1}, seeded=False).content_hash()
+
+
+def test_derive_seed_is_order_independent():
+    """A unit's seed depends only on (root seed, identity), never on what
+    else runs — adding a scenario cannot perturb another's draws."""
+    unit = Scenario("u", "m:f", {"x": 1})
+    alone = unit.derive_seed(7)
+    in_any_batch = [Scenario("v", "m:f", {"x": i}) for i in range(5)]
+    assert all(unit.derive_seed(7) == alone for _ in in_any_batch)
+    assert unit.derive_seed(8) != alone
+    # Distinct identities draw distinct seeds (w.h.p.).
+    assert len({s.derive_seed(7) for s in in_any_batch}) == 5
+
+
+def test_seed_group_shares_draws_across_a_grid():
+    """Units of one comparison grid sample identically; the group id does
+    not mention the member list, so membership changes are invisible."""
+    geo = Scenario("geo", "m:f", {"scheme": "Geo"}, seed_group="grid/W1")
+    rs = Scenario("rs", "m:f", {"scheme": "RS"}, seed_group="grid/W1")
+    assert geo.content_hash() != rs.content_hash()
+    assert geo.derive_seed(3) == rs.derive_seed(3)
+    assert geo.derive_seed(3) != geo.derive_seed(4)
+    other = Scenario("geo", "m:f", {"scheme": "Geo"}, seed_group="grid/W2")
+    assert other.derive_seed(3) != geo.derive_seed(3)
+
+
+def test_seedless_scenarios_have_no_seed():
+    unit = Scenario("u", "m:f", seeded=False)
+    assert unit.derive_seed(0) is None
+    assert unit.derive_seed(99) is None
+
+
+def test_scenario_helper_derives_path_and_resolves():
+    unit = scenario(computes.toy, x=3)
+    assert unit.fn == "tests.runner.computes:toy"
+    assert unit.name == "toy"
+    assert unit.resolve() is computes.toy
+
+
+def test_prefixed_renames_without_changing_identity():
+    unit = scenario(computes.toy, name="u", x=1)
+    pre = unit.prefixed("fig9")
+    assert pre.name == "fig9/u"
+    assert pre.content_hash() == unit.content_hash()
+    assert pre.derive_seed(0) == unit.derive_seed(0)

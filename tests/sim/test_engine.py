@@ -376,3 +376,29 @@ def test_many_processes_scale():
         env.process(worker(i))
     env.run()
     assert len(done) == 5000
+
+
+def test_close_finalizes_abandoned_processes_deterministically():
+    """Open-ended generators abandoned at end-of-run must be cleaned up by
+    ``close()``, not whenever garbage collection reaches them — otherwise
+    their ``finally`` blocks (resource releases, metric updates) fire at a
+    moment that depends on the host process's allocation history."""
+    env = Environment()
+    cleaned = []
+
+    def open_ended(name):
+        try:
+            while True:
+                yield env.timeout(1)
+        finally:
+            cleaned.append((env.now, name))
+
+    keep_alive = [env.process(open_ended(n)) for n in "ab"]
+    env.run(until=5)
+    assert cleaned == []
+    env.close()
+    # Cleanup runs in process creation order at the final sim time.
+    assert cleaned == [(5, "a"), (5, "b")]
+    env.close()  # idempotent: exhausted generators are no-ops
+    assert len(cleaned) == 2
+    assert keep_alive  # processes stayed referenced until close
