@@ -49,6 +49,7 @@ class InvariantChecker:
             "resources_registered": 0,
             "resources_audited": 0,
             "codec_roundtrips": 0,
+            "task_conservation_checks": 0,
         }
 
     # ------------------------------------------------------------------
@@ -157,6 +158,28 @@ class InvariantChecker:
                 f"helpers of {profile.chunk_size}-byte chunks; expected "
                 f"{expected}")
 
+    # ------------------------------------------------------------------
+    # Recovery: task conservation
+    # ------------------------------------------------------------------
+    def check_task_conservation(self, meta: dict) -> None:
+        """Every recovery task must end completed, requeued (and then
+        re-run), or explicitly abandoned — never silently lost.
+
+        A requeue outcome re-enqueues exactly one instance, so requeues
+        cancel out of the books and conservation is
+        ``completed + abandoned == n_tasks``.  Checked at the end of every
+        recovery run (fault-injected or not).
+        """
+        self.stats["task_conservation_checks"] += 1
+        completed = meta.get("tasks_completed", 0)
+        abandoned = meta.get("tasks_abandoned", 0)
+        if completed + abandoned != meta["n_tasks"]:
+            raise InvariantViolation(
+                f"recovery task conservation broken: {completed} completed "
+                f"+ {abandoned} abandoned != {meta['n_tasks']} queued "
+                f"(requeued {meta.get('tasks_requeued', 0)}) — task(s) "
+                "were silently lost")
+
     def verify_codec_roundtrip(self, code, chunk_size: int,
                                seed: int = 0) -> None:
         """Byte-level conservation on real data: encode a stripe, erase
@@ -202,7 +225,8 @@ class InvariantChecker:
                 f"{s['resources_audited']} resources audited "
                 f"({s['resources_registered']} registered), "
                 f"{s['codec_roundtrips']} codec round-trips, "
-                "0 leaked grants")
+                f"{s['task_conservation_checks']} task-conservation "
+                "checks, 0 leaked grants, 0 lost tasks")
 
 
 def attach_invariant_checker(obs) -> InvariantChecker:

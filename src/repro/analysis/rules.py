@@ -16,6 +16,9 @@ RES301  resource grant not released on every path
 RES302  grant held across a sim wait without try/finally protection
 LAY401  import layering violation
 LAY402  mutable default argument
+FLT501  repair-path wait on a fault-injectable resource grant without
+        timeout/cancellation handling (normal-read service routines
+        are allow-listed)
 ======  ============================================================
 
 Every rule applies to a set of *layers* (``repro`` subpackages).  The
@@ -35,15 +38,16 @@ from repro.analysis.linter import Fix, Violation
 
 #: Layers whose behaviour determines simulated numbers.
 DETERMINISTIC_LAYERS = frozenset(
-    {"sim", "cluster", "core", "trace", "codes", "gf", "reliability"})
+    {"sim", "cluster", "core", "trace", "codes", "gf", "faults",
+     "reliability"})
 
 #: Layers where process generators live.
-PROCESS_LAYERS = frozenset({"sim", "cluster", "core"})
+PROCESS_LAYERS = frozenset({"sim", "cluster", "core", "faults"})
 
 #: Allowed intra-``repro`` imports per layer (the architecture DAG).
 LAYER_DEPS: dict[str, frozenset] = {
     "": frozenset({"", "sim", "gf", "codes", "core", "trace", "obs",
-                   "cluster", "reliability"}),
+                   "cluster", "faults", "reliability"}),
     "sim": frozenset({"sim"}),
     "gf": frozenset({"gf"}),
     "codes": frozenset({"codes", "gf"}),
@@ -51,15 +55,17 @@ LAYER_DEPS: dict[str, frozenset] = {
     "trace": frozenset({"trace"}),
     "obs": frozenset({"obs"}),
     "reliability": frozenset({"reliability"}),
-    "cluster": frozenset({"cluster", "codes", "core", "gf", "obs", "sim",
-                          "trace"}),
+    # Fault plans/injectors touch only the engine and device fault state.
+    "faults": frozenset({"faults", "sim"}),
+    "cluster": frozenset({"cluster", "codes", "core", "faults", "gf", "obs",
+                          "sim", "trace"}),
     "analysis": frozenset({"analysis", "codes", "gf", "obs", "sim"}),
     # The runner orchestrates observers and invariant checks but never the
     # simulation itself; "" is the top-level package (for __version__).
     "runner": frozenset({"runner", "obs", "analysis", ""}),
     "experiments": frozenset({"experiments", "analysis", "cluster", "codes",
-                              "core", "gf", "obs", "reliability", "runner",
-                              "sim", "trace"}),
+                              "core", "faults", "gf", "obs", "reliability",
+                              "runner", "sim", "trace"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset({
@@ -357,6 +363,124 @@ class UnprotectedWaitRule(Rule):
                         "wait leaks the grant")
 
 
+#: Function-name fragments that mark repair-path code — the code fault
+#: injection interrupts (hedge timeouts, mid-repair crashes).
+_REPAIR_PATH_MARKERS = ("repair", "recover", "rebuild", "regenerat",
+                        "decode", "fallback", "hedge")
+
+#: Normal-read service routines: fault injection never interrupts a plain
+#: foreground read mid-wait, so a raw grant wait is fine there even when
+#: the function name would otherwise look repair-flavoured.
+_NORMAL_READ_ALLOWLIST = frozenset({"_batch_read", "_normal_read_proc"})
+
+
+class HedgelessRepairWaitRule(Rule):
+    id = "FLT501"
+    summary = ("repair-path code must not wait on a fault-injectable "
+               "resource grant without timeout/cancellation handling")
+    layers = frozenset({"cluster", "faults"})
+
+    def check(self, tree, source, path):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name in _NORMAL_READ_ALLOWLIST:
+                continue
+            lowered = node.name.lower()
+            if not any(m in lowered for m in _REPAIR_PATH_MARKERS):
+                continue
+            tracked = self._request_vars(node)
+            if tracked:
+                yield from self._scan(node.body, tracked, False, path,
+                                      node.name)
+
+    @staticmethod
+    def _request_vars(fn: ast.FunctionDef) -> set[str]:
+        """Variables bound to raw ``*.request(...)`` calls (a with-managed
+        request cancels itself on exit, so withitems are not tracked)."""
+        out: set[str] = set()
+        for n in ast.walk(fn):
+            if isinstance(n, ast.Assign) and isinstance(n.value, ast.Call) \
+                    and isinstance(n.value.func, ast.Attribute) \
+                    and n.value.func.attr == "request":
+                out.update(t.id for t in n.targets
+                           if isinstance(t, ast.Name))
+        return out
+
+    def _scan(self, stmts, tracked: set[str], protected: bool, path: str,
+              fn_name: str) -> Iterable[Violation]:
+        """Statement walk tracking try/finally-or-except protection.
+
+        Does not descend into nested function definitions — a nested
+        generator is scoped by its own name on the outer walk.
+        """
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.Try):
+                inner = protected or self._try_cancels(stmt, tracked)
+                yield from self._scan(stmt.body, tracked, inner, path,
+                                      fn_name)
+                for handler in stmt.handlers:
+                    yield from self._scan(handler.body, tracked, protected,
+                                          path, fn_name)
+                yield from self._scan(stmt.orelse, tracked, protected,
+                                      path, fn_name)
+                yield from self._scan(stmt.finalbody, tracked, protected,
+                                      path, fn_name)
+                continue
+            if not protected:
+                for var, line, col in self._grant_waits(stmt, tracked):
+                    yield Violation(
+                        self.id, path, line, col,
+                        f"repair-path `{fn_name}` waits on resource grant "
+                        f"`{var}` with no timeout/cancellation handling; an "
+                        "injected fault interrupting the wait strands the "
+                        "queued request — use `with ...request(...)` or "
+                        "cancel it in try/finally")
+            for body in ("body", "orelse", "finalbody"):
+                yield from self._scan(getattr(stmt, body, []), tracked,
+                                      protected, path, fn_name)
+
+    @staticmethod
+    def _grant_waits(stmt: ast.stmt, tracked: set[str]):
+        """``yield <tracked-name>`` expressions in one statement, skipping
+        nested function subtrees."""
+        stack = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Yield) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id in tracked:
+                yield node.value.id, node.lineno, node.col_offset
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _try_cancels(node: ast.Try, tracked: set[str]) -> bool:
+        """Whether the try's finally/except cleans up a tracked request
+        (``req.cancel()`` or ``*.release(req)``)."""
+        cleanup = list(node.finalbody)
+        for handler in node.handlers:
+            cleanup.extend(handler.body)
+        for stmt in cleanup:
+            for n in ast.walk(stmt):
+                if not (isinstance(n, ast.Call)
+                        and isinstance(n.func, ast.Attribute)):
+                    continue
+                if n.func.attr == "cancel" \
+                        and isinstance(n.func.value, ast.Name) \
+                        and n.func.value.id in tracked:
+                    return True
+                if n.func.attr == "release" and any(
+                        isinstance(a, ast.Name) and a.id in tracked
+                        for a in n.args):
+                    return True
+        return False
+
+
 class LayeringRule(Rule):
     id = "LAY401"
     summary = "intra-repro imports must follow the architecture DAG"
@@ -422,5 +546,5 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(), NondeterministicRngRule(), SetIterationRule(),
     BareYieldRule(), NonEventYieldRule(), DiscardedProcessReturnRule(),
     ResourceReleaseRule(), UnprotectedWaitRule(),
-    LayeringRule(), MutableDefaultRule(),
+    LayeringRule(), MutableDefaultRule(), HedgelessRepairWaitRule(),
 )

@@ -30,6 +30,15 @@ MB = 1 << 20
 FOREGROUND = 0
 BACKGROUND = 1
 
+#: I/O completion statuses returned by :meth:`Disk.read` / :meth:`Disk.write`
+#: and :meth:`~repro.cluster.network.Link.transfer`.  Without fault
+#: injection every operation returns :data:`IO_OK`; a crashed device
+#: returns :data:`IO_FAILED` and a read that surfaces latent corruption
+#: returns :data:`IO_CORRUPT` (see :mod:`repro.faults`).
+IO_OK = "ok"
+IO_FAILED = "failed"
+IO_CORRUPT = "corrupt"
+
 
 @dataclass(frozen=True)
 class DiskModel:
@@ -110,29 +119,63 @@ class Disk:
         self.bytes_written = 0
         self.n_read_ios = 0
         self.n_write_ios = 0
+        # Fault state, mutated only by a FaultInjector (repro.faults): a
+        # crashed disk fails all I/O, a slowed disk stretches service
+        # times, and pending_corrupt reads surface latent corruption.
+        self.failed = False
+        self.speed_factor = 1.0
+        self.pending_corrupt = 0
 
     def read(self, n_ios: int, nbytes: int, priority: int = FOREGROUND,
              span: int | None = None):
-        """Process: queue for the disk and perform a (batched) read."""
-        req = self.queue.request(priority)
-        yield req
-        try:
-            yield self.env.timeout(self.model.read_time(n_ios, nbytes, span))
-        finally:
-            self.queue.release(req)
+        """Process: queue for the disk and perform a (batched) read.
+
+        Returns :data:`IO_OK`, or under fault injection :data:`IO_FAILED`
+        (disk dead before/during service — no data delivered, counters
+        untouched) / :data:`IO_CORRUPT` (bytes moved but unusable).  The
+        request is held as a context manager, so a caller that abandons a
+        queued read (hedged-retry timeout, :meth:`Process.interrupt`)
+        cancels it rather than leaking the grant.
+        """
+        if self.failed:
+            return IO_FAILED
+        with self.queue.request(priority) as req:
+            yield req
+            if self.failed:
+                return IO_FAILED
+            service = self.model.read_time(n_ios, nbytes, span)
+            if self.speed_factor != 1.0:
+                service *= self.speed_factor
+            yield self.env.timeout(service)
+        if self.failed:
+            return IO_FAILED
         self.bytes_read += nbytes
         self.n_read_ios += n_ios
+        if self.pending_corrupt:
+            self.pending_corrupt -= 1
+            return IO_CORRUPT
+        return IO_OK
 
     def write(self, n_ios: int, nbytes: int, priority: int = BACKGROUND):
-        """Process: queue for the disk and perform a (batched) write."""
-        req = self.queue.request(priority)
-        yield req
-        try:
-            yield self.env.timeout(self.model.write_time(n_ios, nbytes))
-        finally:
-            self.queue.release(req)
+        """Process: queue for the disk and perform a (batched) write.
+
+        Returns :data:`IO_OK` / :data:`IO_FAILED` like :meth:`read`.
+        """
+        if self.failed:
+            return IO_FAILED
+        with self.queue.request(priority) as req:
+            yield req
+            if self.failed:
+                return IO_FAILED
+            service = self.model.write_time(n_ios, nbytes)
+            if self.speed_factor != 1.0:
+                service *= self.speed_factor
+            yield self.env.timeout(service)
+        if self.failed:
+            return IO_FAILED
         self.bytes_written += nbytes
         self.n_write_ios += n_ios
+        return IO_OK
 
     @property
     def total_bytes(self) -> int:

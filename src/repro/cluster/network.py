@@ -10,6 +10,7 @@ degraded-read time (§2.1).
 
 from __future__ import annotations
 
+from repro.cluster.disk import IO_OK
 from repro.sim import Environment, Resource
 
 GBPS = 125 * (1 << 20)  # 1 Gbit/s in bytes/second (network gigabits)
@@ -37,22 +38,30 @@ class Link:
         self.queue = Resource(env, capacity=1, obs=obs,
                               kind=kind or "link", instance=instance)
         self.bytes_transferred = 0
+        # Fault state: a FaultInjector (repro.faults) stretches transfer
+        # times through this multiplier (transient NIC slowdown).
+        self.speed_factor = 1.0
 
     def transfer_time(self, nbytes: int) -> float:
         """Serialisation time of nbytes through this pipe."""
         return nbytes / self.bandwidth
 
     def transfer(self, nbytes: int):
-        """Process: serialise ``nbytes`` through the pipe."""
+        """Process: serialise ``nbytes`` through the pipe.
+
+        Returns :data:`~repro.cluster.disk.IO_OK`; held as a context
+        manager so an interrupted transfer cancels or releases its grant.
+        """
         if nbytes < 0:
             raise ValueError("negative transfer")
-        req = self.queue.request()
-        yield req
-        try:
-            yield self.env.timeout(self.transfer_time(nbytes))
-        finally:
-            self.queue.release(req)
+        with self.queue.request() as req:
+            yield req
+            service = self.transfer_time(nbytes)
+            if self.speed_factor != 1.0:
+                service *= self.speed_factor
+            yield self.env.timeout(service)
         self.bytes_transferred += nbytes
+        return IO_OK
 
 
 class Nic(Link):

@@ -22,7 +22,14 @@ import numpy as np
 
 from repro.cluster.catalog import Catalog, StoredObject
 from repro.cluster.codec import DEFAULT_CODEC, CodecModel
-from repro.cluster.disk import BACKGROUND, FOREGROUND, Disk
+from repro.cluster.disk import (
+    BACKGROUND,
+    FOREGROUND,
+    IO_CORRUPT,
+    IO_FAILED,
+    IO_OK,
+    Disk,
+)
 from repro.cluster.foreground import start_foreground_load
 from repro.cluster.network import Link, Nic, client_link
 from repro.cluster.profiles import HelperRead, ProfileCache, RepairProfile
@@ -30,10 +37,17 @@ from repro.cluster.topology import Cluster, ClusterConfig, PlacementGroup
 from repro.codes import LRCCode, RSCode
 from repro.codes.base import ErasureCode
 from repro.core.layouts import RS_KIND, Layout
+from repro.faults import FaultInjector, FaultPlan
 from repro.obs.observer import Observer, get_default_observer
-from repro.sim import Environment
+from repro.sim import Environment, SimulationError
 
 MB = 1 << 20
+
+#: Fault-ladder bounds: how many times one repair retries before a recovery
+#: task is requeued-or-abandoned, and before a degraded read stops arming
+#: the hedge timeout and simply waits its helpers out.
+MAX_REPAIR_ATTEMPTS = 5
+MAX_HEDGED_ATTEMPTS = 3
 
 
 @dataclass
@@ -55,6 +69,11 @@ class RecoveryReport:
     n_tasks: int
     disk_bandwidth: float
     network_bandwidth: float
+    # Fault-injection outcomes (all zero without a FaultPlan).
+    tasks_requeued: int = 0
+    tasks_escalated: int = 0
+    tasks_abandoned: int = 0
+    hedged_retries: int = 0
 
     @property
     def recovery_rate(self) -> float:
@@ -68,6 +87,7 @@ class _RecoveryTask:
     profile: RepairProfile
     weight: int
     is_rs: bool
+    attempts: int = 0
 
 
 class _Runtime:
@@ -80,7 +100,8 @@ class _Runtime:
     """
 
     def __init__(self, config: ClusterConfig, seed: int,
-                 obs: Observer | None = None, label: str = "run"):
+                 obs: Observer | None = None, label: str = "run",
+                 faults: FaultPlan | None = None):
         self.obs = obs
         self.label = label
         self.invariants = getattr(obs, "invariants", None) \
@@ -95,6 +116,17 @@ class _Runtime:
                          name=f"nic-{n}", obs=obs, run=run)
                      for n in range(config.n_nodes)]
         self.rng = np.random.default_rng(seed)
+        # An *empty* plan is equivalent to no plan: no injector is built
+        # and every fault branch stays cold, so the simulated numbers are
+        # bit-identical to an unfaulted run.
+        self.faults: FaultInjector | None = None
+        if faults:
+            self.faults = FaultInjector(self.env, self.disks, self.nics,
+                                        faults, obs=obs)
+            if obs is not None:
+                self.faults.span_cb = (
+                    lambda name, start, end, **args:
+                    self.span(name, "faults", start, end, **args))
 
     def span(self, name: str, track: str, start: float, end: float,
              **args) -> None:
@@ -183,6 +215,152 @@ class RCStor:
         if inv is not None:
             inv.check_repair_profile(cache.code, profile)
         return profile
+
+    # ------------------------------------------------------------------
+    # Fault ladder (repro.faults)
+    # ------------------------------------------------------------------
+    def _fault_counter(self, rt: _Runtime, name: str) -> None:
+        if rt.obs is not None:
+            rt.obs.metrics.counter(name).inc()
+
+    def _live_roles(self, profile: RepairProfile,
+                    failed_roles: set[int]) -> list[int]:
+        """Survivor roles: neither being repaired nor crashed."""
+        return [r for r in range(self.config.n)
+                if r != profile.failed_role and r not in failed_roles]
+
+    def _repick_profile(self, profile: RepairProfile, failed_roles: set[int],
+                        rotation: int) -> RepairProfile:
+        """Re-target a profile's helper reads onto live survivor roles,
+        rotated so hedged retries don't re-hit the same straggler."""
+        survivors = self._live_roles(profile, failed_roles)
+        start = rotation % len(survivors)
+        chosen = [survivors[(start + i) % len(survivors)]
+                  for i in range(len(profile.helpers))]
+        helpers = tuple(HelperRead(role, h.n_ios, h.nbytes, h.span)
+                        for role, h in zip(chosen, profile.helpers))
+        return RepairProfile(profile.failed_role, profile.chunk_size,
+                             helpers, profile.output_bytes)
+
+    def _decode_fallback(self, profile: RepairProfile,
+                         failed_roles: set[int], rotation: int,
+                         inv=None) -> RepairProfile | None:
+        """Bottom of the ladder: MDS decode from any k live full chunks.
+
+        Returns ``None`` when fewer than k survivors remain — the data is
+        genuinely lost (more than r concurrent failures).
+        """
+        survivors = self._live_roles(profile, failed_roles)
+        k = self.config.k
+        if len(survivors) < k:
+            return None
+        start = rotation % len(survivors)
+        chosen = [survivors[(start + i) % len(survivors)] for i in range(k)]
+        nbytes = profile.output_bytes
+        helpers = tuple(HelperRead(r, 1, nbytes, nbytes) for r in chosen)
+        decode = RepairProfile(profile.failed_role, nbytes, helpers, nbytes)
+        if inv is not None:
+            inv.check_decode_profile(decode, k)
+        return decode
+
+    def _fallback_profile(self, profile: RepairProfile, is_rs: bool,
+                          failed_roles: set[int], rotation: int, inv=None
+                          ) -> tuple[RepairProfile | None, bool]:
+        """One rung down the ladder for a profile with dead helpers.
+
+        While enough survivors remain for the current plan shape, helpers
+        are re-picked onto live roles (sound for any-k MDS reads, and for a
+        regenerating profile whose d-survivor set is intact).  A
+        regenerating profile that lost a helper is below its repair
+        threshold and falls to full RS-style decode.  Returns
+        ``(profile, is_rs)``; profile is ``None`` when unrecoverable.
+        """
+        survivors = self._live_roles(profile, failed_roles)
+        if len(survivors) >= len(profile.helpers):
+            return self._repick_profile(profile, failed_roles, rotation), is_rs
+        return self._decode_fallback(profile, failed_roles, rotation,
+                                     inv), True
+
+    def _issue_helper_reads(self, rt: _Runtime, pg: PlacementGroup,
+                            profile: RepairProfile, priority: int,
+                            use_timeout: bool = True):
+        """Sub-generator: issue one profile's helper reads, fault-aware.
+
+        Returns ``"ok"`` | ``"timeout"`` | ``"failed"`` | ``"corrupt"``.
+        On a hedge timeout the unfinished read processes are interrupted,
+        which cancels their still-queued disk requests rather than leaking
+        the grants (the reads hold their requests as context managers).
+        """
+        env = rt.env
+        procs = [env.process(rt.disks[pg.disk_ids[h.role]].read(
+            h.n_ios, h.nbytes, priority, span=h.span))
+            for h in profile.helpers]
+        all_done = env.all_of(procs)
+        timeout = rt.faults.helper_timeout if use_timeout else None
+        if timeout is not None:
+            yield env.any_of([all_done, env.timeout(timeout)])
+            if not all_done.triggered:
+                for proc in procs:
+                    if not proc.triggered:
+                        proc.interrupt("helper-timeout")
+                return "timeout"
+            statuses = [proc.value for proc in procs]
+        else:
+            statuses = yield all_done
+        if IO_FAILED in statuses:
+            return "failed"
+        if IO_CORRUPT in statuses:
+            return "corrupt"
+        return "ok"
+
+    def _repair_reads_faulted(self, rt: _Runtime, pg: PlacementGroup,
+                              profile: RepairProfile, is_rs: bool,
+                              priority: int):
+        """Sub-generator: drive one repair's helper reads down the fault
+        ladder until a full read set lands.
+
+        Dead helpers re-pick (or escalate to RS decode below the
+        regenerating threshold); hedge timeouts rotate the helper set and,
+        for regenerating profiles that keep timing out, force the decode
+        fallback so one straggler cannot stall a d-of-d read; corrupt
+        reads simply retry.  After :data:`MAX_HEDGED_ATTEMPTS` the hedge
+        timeout is disarmed and the read waits its helpers out.  Returns
+        the (possibly rewritten) profile that was satisfied plus whether
+        it decodes RS-style; raises when the PG became unrecoverable.
+        """
+        attempts = 0
+        rotation = 1
+        while True:
+            failed_roles = {pg.role_of(d) for d in rt.faults.failed_disks
+                            if d in pg}
+            failed_roles.discard(profile.failed_role)
+            if any(h.role in failed_roles for h in profile.helpers):
+                profile, is_rs = self._fallback_profile(
+                    profile, is_rs, failed_roles, rotation, rt.invariants)
+                rotation += 1
+                if profile is None:
+                    raise SimulationError(
+                        "degraded read unrecoverable: more than "
+                        f"r={self.config.r} failures in one PG")
+            status = yield from self._issue_helper_reads(
+                rt, pg, profile, priority,
+                use_timeout=attempts < MAX_HEDGED_ATTEMPTS)
+            if status == "ok":
+                return profile, is_rs
+            attempts += 1
+            if status == "timeout":
+                self._fault_counter(rt, "repair.hedged_retries")
+                rotation += 1
+                if is_rs or self._scalar_rebuild:
+                    profile = self._repick_profile(profile, failed_roles,
+                                                   rotation)
+                elif attempts >= 2:
+                    decode = self._decode_fallback(profile, failed_roles,
+                                                   rotation, rt.invariants)
+                    if decode is not None:
+                        profile, is_rs = decode, True
+            else:
+                self._fault_counter(rt, f"repair.{status}_reads")
 
     # ------------------------------------------------------------------
     # Normal reads
@@ -304,10 +482,14 @@ class RCStor:
                 profile = self._profile(cache, failed_role, size,
                                         rt.invariants)
                 t_read = env.now
-                reads = [env.process(rt.disks[pg.disk_ids[h.role]].read(
-                    h.n_ios, h.nbytes, FOREGROUND, span=h.span))
-                    for h in profile.helpers]
-                yield env.all_of(reads)
+                if rt.faults is None:
+                    reads = [env.process(rt.disks[pg.disk_ids[h.role]].read(
+                        h.n_ios, h.nbytes, FOREGROUND, span=h.span))
+                        for h in profile.helpers]
+                    yield env.all_of(reads)
+                else:
+                    profile, is_rs = yield from self._repair_reads_faulted(
+                        rt, pg, profile, is_rs, FOREGROUND)
                 if rt.obs is not None:
                     rt.span("helper_reads", "repair", t_read, env.now,
                             chunk=i, nbytes=profile.total_read_bytes)
@@ -399,7 +581,25 @@ class RCStor:
                         local = self.config.k + self.code.group_of(failed_role)
                         extra.append(env.process(rt.disks[pg.disk_ids[local]].read(
                             1, missing_bytes, FOREGROUND)))
-                    yield env.all_of(list(available_done.values()) + extra)
+                    statuses = yield env.all_of(
+                        list(available_done.values()) + extra)
+                    if rt.faults is not None \
+                            and any(s != IO_OK for s in statuses):
+                        # A strip read hit a crashed disk or corruption:
+                        # fall to MDS row decode from any k live strips.
+                        dead = {pg.role_of(d)
+                                for d in rt.faults.failed_disks if d in pg}
+                        dead.discard(failed_role)
+                        decode = self._decode_fallback(
+                            RepairProfile(failed_role, missing_bytes, (),
+                                          missing_bytes),
+                            dead, 1, rt.invariants)
+                        if decode is None:
+                            raise SimulationError(
+                                "degraded read unrecoverable: more than "
+                                f"r={self.config.r} failures in one PG")
+                        yield from self._repair_reads_faulted(
+                            rt, pg, decode, True, FOREGROUND)
                     if rt.obs is not None:
                         rt.span("helper_reads", "repair", t_read, env.now,
                                 nbytes=missing_bytes)
@@ -421,11 +621,25 @@ class RCStor:
                             acc[0] += h.n_ios
                             acc[1] += h.nbytes
                             acc[2] += h.span
-                    reads = [env.process(rt.disks[pg.disk_ids[role]].read(
-                        ios, nbytes, FOREGROUND, span=span))
-                        for role, (ios, nbytes, span) in batch.items()]
-                    yield env.all_of(reads)
-                    gathered_bytes = sum(b for _, b, _s in batch.values())
+                    if rt.faults is None:
+                        reads = [env.process(rt.disks[pg.disk_ids[role]].read(
+                            ios, nbytes, FOREGROUND, span=span))
+                            for role, (ios, nbytes, span) in batch.items()]
+                        yield env.all_of(reads)
+                        gathered_bytes = sum(b for _, b, _s in batch.values())
+                    else:
+                        # Aggregate the batch into one synthetic profile so
+                        # the fault ladder can re-pick / escalate it whole.
+                        batch_profile = RepairProfile(
+                            failed_role, missing_bytes,
+                            tuple(HelperRead(role, ios, nbytes, span)
+                                  for role, (ios, nbytes, span)
+                                  in batch.items()),
+                            missing_bytes)
+                        batch_profile, _ = yield from \
+                            self._repair_reads_faulted(
+                                rt, pg, batch_profile, False, FOREGROUND)
+                        gathered_bytes = batch_profile.total_read_bytes
                     if rt.obs is not None:
                         rt.span("helper_reads", "repair", t_read, env.now,
                                 nbytes=gathered_bytes)
@@ -479,6 +693,7 @@ class RCStor:
                                busy: bool = False, seed: int = 0,
                                warmup: float = 2.0,
                                ranges: list[tuple[int, int]] | None = None,
+                               faults: FaultPlan | None = None,
                                ) -> list[DegradedReadResult]:
         """Sequentially measure degraded reads of the given unavailable
         objects (optionally under foreground load).
@@ -490,11 +705,15 @@ class RCStor:
 
         ``ranges`` (optional, one ``(offset, length)`` per object) measures
         ranged degraded reads instead of whole-object reads (§5.2).
+
+        ``faults`` (optional) replays a :class:`~repro.faults.FaultPlan`
+        during the measurement; helper reads then run the fault ladder
+        (hedged retry on timeout, re-pick / decode on crashes).
         """
         if ranges is not None and len(ranges) != len(objects):
             raise ValueError("need one byte range per object")
         rt = _Runtime(self.config, seed, self.obs,
-                      label=f"{self.name}/degraded-reads")
+                      label=f"{self.name}/degraded-reads", faults=faults)
         if busy:
             start_foreground_load(
                 rt.env, rt.disks, rt.rng,
@@ -617,27 +836,12 @@ class RCStor:
         return RepairProfile(profile.failed_role, profile.chunk_size,
                              helpers, profile.output_bytes)
 
-    def run_node_recovery(self, node: int, seed: int = 0) -> RecoveryReport:
-        """Recover every disk of a failed node.
-
-        Placement groups span distinct nodes, so a whole-node failure costs
-        each affected PG exactly one disk — recovery stays on the optimal
-        single-failure plans, just with ``disks_per_node`` times the work.
-        """
-        if not 0 <= node < self.config.n_nodes:
-            raise ValueError(f"node {node} out of range")
-        first = node * self.config.disks_per_node
-        failed = list(range(first, first + self.config.disks_per_node))
-        rt = _Runtime(self.config, seed, self.obs,
-                      label=f"{self.name}/node-recovery")
-        env = rt.env
-        tasks: list[_RecoveryTask] = []
-        for disk in failed:
-            tasks.extend(self._build_recovery_tasks(disk, rt.invariants))
-        done, meta = self._run_task_set(rt, deque(tasks), set(failed))
-        start = env.now
-        env.run(done)
-        makespan = env.now - start
+    def _finish_recovery(self, rt: _Runtime, meta: dict,
+                         makespan: float) -> RecoveryReport:
+        """Common tail of every recovery entry point: task-conservation
+        check, runtime finalization, and the report."""
+        if rt.invariants is not None:
+            rt.invariants.check_task_conservation(meta)
         rt.finalize()
         total_disk_bytes = sum(d.total_bytes for d in rt.disks)
         total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
@@ -649,7 +853,34 @@ class RCStor:
                             if makespan else 0.0),
             network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
                                if makespan else 0.0),
+            tasks_requeued=meta["tasks_requeued"],
+            tasks_escalated=meta["tasks_escalated"],
+            tasks_abandoned=meta["tasks_abandoned"],
+            hedged_retries=meta["hedged_retries"],
         )
+
+    def run_node_recovery(self, node: int, seed: int = 0,
+                          faults: FaultPlan | None = None) -> RecoveryReport:
+        """Recover every disk of a failed node.
+
+        Placement groups span distinct nodes, so a whole-node failure costs
+        each affected PG exactly one disk — recovery stays on the optimal
+        single-failure plans, just with ``disks_per_node`` times the work.
+        """
+        if not 0 <= node < self.config.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        first = node * self.config.disks_per_node
+        failed = list(range(first, first + self.config.disks_per_node))
+        rt = _Runtime(self.config, seed, self.obs,
+                      label=f"{self.name}/node-recovery", faults=faults)
+        env = rt.env
+        tasks: list[_RecoveryTask] = []
+        for disk in failed:
+            tasks.extend(self._build_recovery_tasks(disk, rt.invariants))
+        done, meta = self._run_task_set(rt, deque(tasks), set(failed))
+        start = env.now
+        env.run(done)
+        return self._finish_recovery(rt, meta, env.now - start)
 
     def _build_multi_failure_tasks(self, failed_disks: list[int],
                                    inv=None) -> list[_RecoveryTask]:
@@ -709,7 +940,9 @@ class RCStor:
         return tasks
 
     def run_multi_failure_recovery(self, failed_disks: list[int],
-                                   seed: int = 0) -> RecoveryReport:
+                                   seed: int = 0,
+                                   faults: FaultPlan | None = None
+                                   ) -> RecoveryReport:
         """Recover several concurrently failed disks.
 
         PGs that lost one disk recover with the optimal single-failure
@@ -724,7 +957,8 @@ class RCStor:
             raise ValueError(f"more than r={self.config.r} concurrent "
                              "failures cannot be guaranteed recoverable")
         rt = _Runtime(self.config, seed, self.obs,
-                      label=f"{self.name}/multi-failure-recovery")
+                      label=f"{self.name}/multi-failure-recovery",
+                      faults=faults)
         env = rt.env
         tasks: list[_RecoveryTask] = []
         # Single-failure PGs: optimal plans, skipping multi-failure PGs.
@@ -754,19 +988,7 @@ class RCStor:
         done, meta = self._run_task_set(rt, deque(alive_tasks), failed)
         start = env.now
         env.run(done)
-        makespan = env.now - start
-        rt.finalize()
-        total_disk_bytes = sum(d.total_bytes for d in rt.disks)
-        total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
-        return RecoveryReport(
-            makespan=makespan,
-            repaired_bytes=meta["repaired_bytes"],
-            n_tasks=meta["n_tasks"],
-            disk_bandwidth=(total_disk_bytes / makespan / self.config.n_disks
-                            if makespan else 0.0),
-            network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
-                               if makespan else 0.0),
-        )
+        return self._finish_recovery(rt, meta, env.now - start)
 
     def _start_recovery(self, rt: _Runtime, failed_disk: int,
                         priority: int = BACKGROUND, weight_limit: int | None = None):
@@ -779,13 +1001,112 @@ class RCStor:
         return self._run_task_set(rt, tasks, {failed_disk}, priority,
                                   weight_limit)
 
+    def _run_task_faulted(self, rt: _Runtime, task: _RecoveryTask,
+                          server_node: int, priority: int,
+                          failed_disks: set[int], pick_replacement, meta):
+        """Process: one recovery task under fault injection.
+
+        Returns ``("done", None)``, ``("requeue", task)`` — the
+        replacement write hit a freshly crashed disk, so the task goes
+        back to the global queue and a new replacement is picked — or
+        ``("abandon", None)`` when the PG lost more than r chunks or the
+        task keeps failing past :data:`MAX_REPAIR_ATTEMPTS`.
+        """
+        env = rt.env
+        track = f"server-{server_node}"
+        t_task = env.now
+        profile, is_rs = task.profile, task.is_rs
+        attempts = task.attempts
+        rotation = attempts + 1
+        while True:
+            failed_roles = {task.pg.role_of(d) for d in failed_disks
+                            if d in task.pg}
+            failed_roles.discard(profile.failed_role)
+            if any(h.role in failed_roles for h in profile.helpers):
+                was_rs = is_rs
+                profile, is_rs = self._fallback_profile(
+                    profile, is_rs, failed_roles, rotation, rt.invariants)
+                rotation += 1
+                if profile is None:
+                    return ("abandon", None)
+                if is_rs and not was_rs:
+                    meta["tasks_escalated"] += 1
+                    self._fault_counter(rt, "repair.tasks_escalated")
+            status = yield from self._issue_helper_reads(
+                rt, task.pg, profile, priority,
+                use_timeout=attempts < MAX_HEDGED_ATTEMPTS)
+            if status == "ok":
+                break
+            attempts += 1
+            if attempts >= MAX_REPAIR_ATTEMPTS:
+                return ("abandon", None)
+            if status == "timeout":
+                meta["hedged_retries"] += 1
+                self._fault_counter(rt, "repair.hedged_retries")
+                rotation += 1
+                if is_rs or self._scalar_rebuild:
+                    profile = self._repick_profile(profile, failed_roles,
+                                                   rotation)
+                elif attempts >= 2:
+                    decode = self._decode_fallback(profile, failed_roles,
+                                                   rotation, rt.invariants)
+                    if decode is not None:
+                        profile, is_rs = decode, True
+                        meta["tasks_escalated"] += 1
+                        self._fault_counter(rt, "repair.tasks_escalated")
+            else:
+                self._fault_counter(rt, f"repair.{status}_reads")
+        if rt.obs is not None:
+            rt.span("helper_reads", track, t_task, env.now,
+                    nbytes=profile.total_read_bytes)
+        t_gather = env.now
+        yield env.process(rt.nics[server_node].transfer(
+            profile.total_read_bytes))
+        if rt.obs is not None:
+            rt.span("gather", track, t_gather, env.now,
+                    nbytes=profile.total_read_bytes)
+        codec_time = self._codec_time(profile.output_bytes, is_rs)
+        rpc = self.config.repair_rpc_overhead
+        yield env.timeout(codec_time + rpc)
+        if rt.obs is not None:
+            rt.span("decode", track, env.now - rpc - codec_time,
+                    env.now - rpc, nbytes=profile.output_bytes)
+            rt.span("locate", track, env.now - rpc, env.now)
+        dest = pick_replacement(task.pg)
+        t_write = env.now
+        wstatus = yield env.process(dest.write(1, profile.output_bytes,
+                                               priority))
+        if wstatus != IO_OK:
+            self._fault_counter(rt, "repair.failed_writes")
+            if attempts + 1 >= MAX_REPAIR_ATTEMPTS:
+                return ("abandon", None)
+            return ("requeue", _RecoveryTask(task.pg, profile, task.weight,
+                                             is_rs, attempts + 1))
+        if rt.obs is not None:
+            rt.span("write", track, t_write, env.now,
+                    nbytes=profile.output_bytes, disk=dest.disk_id)
+            rt.span("recovery_task", track, t_task, env.now,
+                    weight=task.weight, nbytes=profile.output_bytes)
+        return ("done", None)
+
     def _run_task_set(self, rt: _Runtime, tasks: deque,
                       failed_disks: set[int], priority: int = BACKGROUND,
                       weight_limit: int | None = None):
-        """Drive a queue of recovery tasks through the HTTP servers."""
+        """Drive a queue of recovery tasks through the HTTP servers.
+
+        Without fault injection this is the paper's §5.1 engine verbatim.
+        With a :class:`~repro.faults.FaultInjector` on the runtime, each
+        task runs the failure-aware path (:meth:`_run_task_faulted`), a
+        disk crash mid-run escalates affected queued tasks in place (the
+        multi-failure path's full decode), and completed weight drives the
+        injector's progress-triggered events.
+        """
         env = rt.env
         meta = {"n_tasks": len(tasks),
-                "repaired_bytes": sum(t.profile.output_bytes for t in tasks)}
+                "repaired_bytes": sum(t.profile.output_bytes for t in tasks),
+                "tasks_completed": 0, "tasks_requeued": 0,
+                "tasks_abandoned": 0, "tasks_escalated": 0,
+                "hedged_retries": 0}
         limit = (weight_limit if weight_limit is not None
                  else self.config.recovery_global_weight)
         replacement_rr = [0]
@@ -797,6 +1118,40 @@ class RCStor:
                 replacement_rr[0] += 1
                 if cand not in failed_disks and cand not in pg:
                     return rt.disks[cand]
+
+        total_weight = sum(t.weight for t in tasks) or 1
+        done_weight = [0]
+
+        if rt.faults is not None:
+            failed_disks |= rt.faults.failed_disks
+
+            def on_crash(disk_id: int) -> None:
+                # Second failure mid-recovery: escalate affected queued
+                # tasks to the multi-failure path (full MDS decode /
+                # re-picked helpers); running tasks handle it inline.
+                failed_disks.add(disk_id)
+                for i in range(len(tasks)):
+                    t = tasks[i]
+                    if disk_id not in t.pg:
+                        continue
+                    failed_roles = {t.pg.role_of(d) for d in failed_disks
+                                    if d in t.pg}
+                    failed_roles.discard(t.profile.failed_role)
+                    if not any(h.role in failed_roles
+                               for h in t.profile.helpers):
+                        continue
+                    new_profile, new_rs = self._fallback_profile(
+                        t.profile, t.is_rs, failed_roles, i + 1,
+                        rt.invariants)
+                    if new_profile is None:
+                        continue  # the runner will abandon it
+                    tasks[i] = _RecoveryTask(t.pg, new_profile, t.weight,
+                                             new_rs, t.attempts)
+                    if new_rs and not t.is_rs:
+                        meta["tasks_escalated"] += 1
+                        self._fault_counter(rt, "repair.tasks_escalated")
+
+            rt.faults.on_disk_failure(on_crash)
 
         def run_task(task: _RecoveryTask, server_node: int):
             track = f"server-{server_node}"
@@ -837,9 +1192,37 @@ class RCStor:
 
             def wrapper(task: _RecoveryTask):
                 yield env.process(run_task(task, server_node))
+                meta["tasks_completed"] += 1
                 weight_used[0] -= task.weight
                 old, wake[0] = wake[0], env.event()
                 old.succeed()
+
+            def wrapper_faulted(task: _RecoveryTask):
+                status, requeued = yield env.process(self._run_task_faulted(
+                    rt, task, server_node, priority, failed_disks,
+                    pick_replacement, meta))
+                if status == "done":
+                    meta["tasks_completed"] += 1
+                    done_weight[0] += task.weight
+                elif status == "requeue":
+                    meta["tasks_requeued"] += 1
+                    self._fault_counter(rt, "repair.tasks_requeued")
+                    # Requeue before releasing weight: this server is still
+                    # alive to re-check the queue, so the task cannot be
+                    # stranded after every other server has exited.
+                    tasks.append(requeued)
+                else:
+                    meta["tasks_abandoned"] += 1
+                    meta["repaired_bytes"] -= task.profile.output_bytes
+                    self._fault_counter(rt, "repair.tasks_abandoned")
+                    done_weight[0] += task.weight
+                if rt.faults.has_progress_events:
+                    rt.faults.notify_progress(done_weight[0] / total_weight)
+                weight_used[0] -= task.weight
+                old, wake[0] = wake[0], env.event()
+                old.succeed()
+
+            run_one = wrapper if rt.faults is None else wrapper_faulted
 
             while True:
                 if not tasks:
@@ -849,7 +1232,7 @@ class RCStor:
                 elif weight_used[0] + tasks[0].weight <= limit or weight_used[0] == 0:
                     task = tasks.popleft()
                     weight_used[0] += task.weight
-                    env.process(wrapper(task))
+                    env.process(run_one(task))
                     # Yield the queue so servers pull round-robin rather than
                     # one server draining the queue up to its weight cap.
                     yield env.timeout(0)
@@ -862,16 +1245,23 @@ class RCStor:
 
     def run_recovery(self, failed_disk: int, busy: bool = False,
                      seed: int = 0,
-                     weight_limit: int | None = None) -> RecoveryReport:
+                     weight_limit: int | None = None,
+                     faults: FaultPlan | None = None) -> RecoveryReport:
         """Recover all PGs of a failed disk; §5.1's paralleled recovery.
 
         Each of the ``n_nodes`` HTTP servers pulls tasks from the global
         queue under its weight cap; a task reads from the surviving disks
         of its PG (background priority), gathers over the server NIC,
         regenerates, and writes to a replacement disk.
+
+        ``faults`` (optional) replays a :class:`~repro.faults.FaultPlan`
+        during the run: tasks then use the failure-aware path (hedged
+        helper reads, requeue on replacement-disk death), a second failure
+        mid-recovery escalates affected PGs to the multi-failure decode,
+        and the report carries the requeue/escalate/abandon counts.
         """
         rt = _Runtime(self.config, seed, self.obs,
-                      label=f"{self.name}/recovery")
+                      label=f"{self.name}/recovery", faults=faults)
         env = rt.env
         if busy:
             start_foreground_load(
@@ -883,24 +1273,13 @@ class RCStor:
         done, meta = self._start_recovery(rt, failed_disk,
                                           weight_limit=weight_limit)
         env.run(done)
-        makespan = env.now - start
-        rt.finalize()
-        total_disk_bytes = sum(d.total_bytes for d in rt.disks)
-        total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
-        return RecoveryReport(
-            makespan=makespan,
-            repaired_bytes=meta["repaired_bytes"],
-            n_tasks=meta["n_tasks"],
-            disk_bandwidth=(total_disk_bytes / makespan / self.config.n_disks
-                            if makespan else 0.0),
-            network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
-                               if makespan else 0.0),
-        )
+        return self._finish_recovery(rt, meta, env.now - start)
 
     def measure_degraded_reads_during_recovery(
             self, objects: list[StoredObject], failed_disk: int,
             recovery_priority: int = BACKGROUND,
-            seed: int = 0) -> tuple[list[DegradedReadResult], RecoveryReport]:
+            seed: int = 0, faults: FaultPlan | None = None
+            ) -> tuple[list[DegradedReadResult], RecoveryReport]:
         """Degraded reads issued *while* recovery runs (§5.1 IO Scheduling).
 
         With ``recovery_priority=BACKGROUND`` (RCStor's design) foreground
@@ -909,7 +1288,8 @@ class RCStor:
         paper's priority-lane design.
         """
         rt = _Runtime(self.config, seed, self.obs,
-                      label=f"{self.name}/degraded-during-recovery")
+                      label=f"{self.name}/degraded-during-recovery",
+                      faults=faults)
         env = rt.env
         recovery_done, meta = self._start_recovery(rt, failed_disk,
                                                    priority=recovery_priority)
@@ -937,17 +1317,5 @@ class RCStor:
         start = env.now
         reads = env.process(reader())
         env.run(env.all_of([recovery_done, reads]))
-        makespan = env.now - start
-        rt.finalize()
-        total_disk_bytes = sum(d.total_bytes for d in rt.disks)
-        total_nic_bytes = sum(nic.bytes_transferred for nic in rt.nics)
-        report = RecoveryReport(
-            makespan=makespan,
-            repaired_bytes=meta["repaired_bytes"],
-            n_tasks=meta["n_tasks"],
-            disk_bandwidth=(total_disk_bytes / makespan / self.config.n_disks
-                            if makespan else 0.0),
-            network_bandwidth=(total_nic_bytes / makespan / self.config.n_nodes
-                               if makespan else 0.0),
-        )
+        report = self._finish_recovery(rt, meta, env.now - start)
         return results, report

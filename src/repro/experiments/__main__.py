@@ -164,6 +164,34 @@ def spec_ablations(args):
             ablations.render)
 
 
+def _fault_doc(args):
+    """The fault plan named by ``--faults``, as a JSON-safe doc."""
+    if args.faults is None:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(args.faults).to_doc()
+
+
+def spec_chaos_tail(args):
+    from repro.experiments import chaos
+
+    factors = (args.straggler,) if args.straggler is not None else None
+    return (chaos.tail_scenarios(args.workload, n_objects=args.n_objects,
+                                 n_requests=args.n_requests,
+                                 factors=factors, faults=_fault_doc(args)),
+            chaos.render_tail)
+
+
+def spec_chaos_recovery(args):
+    from repro.experiments import chaos
+
+    return (chaos.second_failure_scenarios(args.workload,
+                                           n_objects=args.n_objects,
+                                           faults=_fault_doc(args)),
+            chaos.render_second_failure)
+
+
 SPECS = {
     "table1": spec_table1, "table2": spec_table2, "table3": spec_table3,
     "table4": spec_table4, "table5": spec_table5,
@@ -173,6 +201,7 @@ SPECS = {
     "breakdown": spec_breakdown, "range": spec_range,
     "headline": spec_headline, "ablations": spec_ablations,
     "durability": spec_durability,
+    "chaos-tail": spec_chaos_tail, "chaos-recovery": spec_chaos_recovery,
 }
 
 
@@ -189,6 +218,14 @@ def _parser() -> argparse.ArgumentParser:
                         help="degraded-read sample size (fig9/fig10)")
     parser.add_argument("--workload", choices=["W1", "W2"], default="W1",
                         help="workload for workload-parametric experiments")
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="inject a fault plan (repro.faults JSON) into "
+                             "the chaos experiments instead of their "
+                             "built-in plans")
+    parser.add_argument("--straggler", type=float, default=None,
+                        metavar="FACTOR",
+                        help="chaos-tail: sweep only this straggler "
+                             "slow-factor instead of the default grid")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run scenario units on N worker processes "
                              "(identical rows for any N)")

@@ -1,0 +1,28 @@
+"""Fault injection for the RCStor simulation.
+
+Two halves:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — a deterministic, JSON-safe
+  fault *schedule* (disk/node crashes, transient slowdowns, stragglers,
+  latent corruption) plus the repair-timeout policy.  Stochastic
+  constructors take explicit seeds, so schedules are bit-reproducible
+  across ``--jobs`` fan-out and result-cache hits.
+* :class:`FaultInjector` — replays a plan against one measurement's disks
+  and NICs, fires progress-triggered events (second failure at 50% of a
+  recovery), and notifies the failure-aware recovery engine of crashes.
+
+Measurement entry points (:meth:`repro.cluster.RCStor.run_recovery`,
+:meth:`~repro.cluster.RCStor.measure_degraded_reads`, ...) accept a plan
+via their ``faults`` parameter; an empty plan is equivalent to ``None``
+and leaves every simulated number bit-identical.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+]

@@ -1,0 +1,110 @@
+"""The fault injector: replays a :class:`~repro.faults.FaultPlan` against
+a live simulation.
+
+The injector owns one replay process for the plan's *timed* events and
+fires *progress* events when the recovery engine reports completed-weight
+fractions (:meth:`FaultInjector.notify_progress`).  Applying an event
+mutates the target device's fault state (``failed`` flag, ``speed_factor``
+multiplier, ``pending_corrupt`` budget) — the devices themselves stay
+fault-agnostic beyond those attributes, so the unfaulted hot path costs
+nothing.
+
+Disk crashes additionally notify subscribers (the failure-aware recovery
+engine registers one to escalate affected placement groups mid-run) and
+every applied event lands in the observer as a ``faults.injected`` counter
+and a zero-length span on the runtime's ``faults`` track.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sim import Environment
+
+
+class FaultInjector:
+    """Replays a fault plan against one measurement's devices."""
+
+    def __init__(self, env: Environment, disks: list, nics: list,
+                 plan: FaultPlan, obs=None):
+        self.env = env
+        self.disks = disks
+        self.nics = nics
+        self.plan = plan
+        self.helper_timeout = plan.helper_timeout
+        self.failed_disks: set[int] = set()
+        self.injected: list[FaultEvent] = []
+        self._on_disk_failure: list[Callable[[int], None]] = []
+        self._progress_pending = list(plan.progress_events)
+        self._counter = (obs.metrics.counter("faults.injected")
+                         if obs is not None else None)
+        #: Optional ``(name, start, end, **args)`` span recorder, installed
+        #: by the runtime that owns this injector.
+        self.span_cb: Callable | None = None
+        if plan.timed_events:
+            env.process(self._replay())
+
+    # ------------------------------------------------------------------
+    @property
+    def has_progress_events(self) -> bool:
+        return bool(self._progress_pending)
+
+    def on_disk_failure(self, callback: Callable[[int], None]) -> None:
+        """Subscribe to disk-crash events (called with the disk id)."""
+        self._on_disk_failure.append(callback)
+
+    def notify_progress(self, fraction: float) -> None:
+        """Fire progress-triggered events crossed by ``fraction``."""
+        while self._progress_pending \
+                and self._progress_pending[0].at_progress <= fraction:
+            self._apply(self._progress_pending.pop(0))
+
+    # ------------------------------------------------------------------
+    def _replay(self):
+        for event in self.plan.timed_events:
+            if event.at > self.env.now:
+                yield self.env.timeout(event.at - self.env.now)
+            self._apply(event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == "disk_crash":
+            self._crash_disk(event.disk)
+        elif kind == "node_crash":
+            per_node = len(self.disks) // len(self.nics)
+            first = event.node * per_node
+            for disk_id in range(first, first + per_node):
+                self._crash_disk(disk_id)
+        elif kind == "disk_slow":
+            self._slow(self.disks[event.disk], event.factor, event.duration)
+        elif kind == "nic_slow":
+            self._slow(self.nics[event.node], event.factor, event.duration)
+        elif kind == "corrupt":
+            self.disks[event.disk].pending_corrupt += event.count
+        self.injected.append(event)
+        if self._counter is not None:
+            self._counter.inc()
+        if self.span_cb is not None:
+            now = self.env.now
+            self.span_cb(f"fault:{kind}", now, now, **event.to_doc())
+
+    def _crash_disk(self, disk_id: int) -> None:
+        if disk_id in self.failed_disks:
+            return
+        self.disks[disk_id].failed = True
+        self.failed_disks.add(disk_id)
+        for callback in self._on_disk_failure:
+            callback(disk_id)
+
+    def _slow(self, device, factor: float, duration: float | None) -> None:
+        if factor == 1.0:
+            return
+        device.speed_factor *= factor
+
+        def restore():
+            yield self.env.timeout(duration)
+            device.speed_factor /= factor
+
+        if duration is not None:
+            self.env.process(restore())

@@ -6,11 +6,22 @@ priority resources with utilization accounting.  Simulated time is in
 seconds; the engine is deterministic given deterministic processes.
 """
 
-from repro.sim.engine import AllOf, Environment, Event, Process, SimulationError, Timeout
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupted,
+    Process,
+    SimulationError,
+    Timeout,
+)
 from repro.sim.resources import PriorityResource, Request, Resource
 
 __all__ = [
     "AllOf",
+    "AnyOf",
+    "Interrupted",
     "Environment",
     "Event",
     "Process",

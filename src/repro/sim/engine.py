@@ -16,6 +16,21 @@ class SimulationError(RuntimeError):
     """Raised for engine misuse (e.g. yielding a non-event)."""
 
 
+class Interrupted(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries the interrupter's reason (e.g. the fault event that
+    made the wait pointless).  Processes that hold resources across waits
+    must release them on this path — the simlint rules RES302/FLT501 and
+    the :class:`~repro.sim.resources.Request` context manager exist to
+    make that automatic.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
 class Event:
     """A one-shot event; callbacks fire when it triggers."""
 
@@ -59,9 +74,15 @@ class Timeout(Event):
 
 
 class Process(Event):
-    """Wraps a generator; triggers with the generator's return value."""
+    """Wraps a generator; triggers with the generator's return value.
 
-    __slots__ = ("_gen", "_hooks")
+    A suspended process can be cancelled with :meth:`interrupt`: the
+    engine throws :class:`Interrupted` into the generator at its current
+    ``yield``, running ``with`` / ``try/finally`` cleanup (releasing or
+    cancelling resource grants) on the way out.
+    """
+
+    __slots__ = ("_gen", "_hooks", "_target")
 
     def __init__(self, env: "Environment", gen: Generator):
         super().__init__(env)
@@ -69,22 +90,21 @@ class Process(Event):
             raise SimulationError("process target must be a generator")
         self._gen = gen
         self._hooks = env.trace_hooks
+        self._target: Event | None = None
         env._processes.append(self)
         # Start the process at the current time.
         start = Event(env)
         start.callbacks.append(self._resume)
+        self._target = start
         start.succeed()
 
-    def _resume(self, trigger: Event) -> None:
-        if self._hooks is not None:
-            self._hooks.on_resume(self, trigger)
-        try:
-            target = self._gen.send(trigger._value)
-        except StopIteration as stop:
-            self.triggered = True
-            self._value = stop.value
-            self.env._schedule_callbacks(self)
-            return
+    def _finish(self, value: Any) -> None:
+        self._target = None
+        self.triggered = True
+        self._value = value
+        self.env._schedule_callbacks(self)
+
+    def _wait_on(self, target: Any) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process yielded {target!r}; processes must yield events")
@@ -92,9 +112,56 @@ class Process(Event):
             # Already fired and drained: resume immediately via a fresh hop.
             hop = Event(self.env)
             hop.callbacks.append(self._resume)
+            self._target = hop
             hop.succeed(target._value)
         else:
             target.callbacks.append(self._resume)
+            self._target = target
+
+    def _resume(self, trigger: Event) -> None:
+        if trigger is not self._target:
+            # Stale wakeup: the wait was interrupted (or finished) after
+            # this event had already been detached for firing.
+            return
+        if self._hooks is not None:
+            self._hooks.on_resume(self, trigger)
+        try:
+            target = self._gen.send(trigger._value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def interrupt(self, cause: Any = None) -> bool:
+        """Cancel this process's current wait by throwing
+        :class:`Interrupted` into its generator.
+
+        The generator's cleanup (``finally`` blocks, ``with`` exits) runs
+        immediately.  If the generator catches the interrupt and yields a
+        new event, the process keeps running on that event; otherwise it
+        finishes, triggering with the :class:`Interrupted` instance as its
+        value.  Returns ``False`` (and does nothing) if the process has
+        already finished.
+        """
+        if self.triggered or self._gen.gi_frame is None:
+            return False
+        target = self._target
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        try:
+            new_target = self._gen.throw(Interrupted(cause))
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return True
+        except Interrupted as exc:
+            self._finish(exc)
+            return True
+        self._wait_on(new_target)
+        return True
 
 
 class AllOf(Event):
@@ -118,6 +185,34 @@ class AllOf(Event):
         self._waiting -= 1
         if self._waiting == 0 and not self.triggered:
             self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(Event):
+    """Triggers with the first child event's value (a race / select).
+
+    The losing children keep running; racing a wait against an
+    ``env.timeout`` and then interrupting the loser is the timeout idiom
+    used by the failure-aware repair paths.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("any_of requires at least one event")
+        for ev in self._events:
+            if ev.triggered and not ev.callbacks and ev not in env._pending:
+                # Already fired and drained: win the race immediately.
+                self.succeed(ev._value)
+                return
+        for ev in self._events:
+            ev.callbacks.append(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if not self.triggered:
+            self.succeed(ev._value)
 
 
 class Environment:
@@ -177,6 +272,10 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event triggering when every given event has triggered."""
         return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when the first given event triggers."""
+        return AnyOf(self, events)
 
     def run(self, until: Event | float | None = None) -> Any:
         """Run until the given event triggers / time passes / queue drains.

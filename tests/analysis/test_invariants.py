@@ -219,3 +219,28 @@ def test_default_observer_arms_internal_systems():
     assert checker.stats["profile_checks"] > 0
     assert checker.stats["resources_audited"] > 0
     assert "0 leaked grants" in checker.report()
+    # Recovery ran once, so its task books were checked once.
+    assert checker.stats["task_conservation_checks"] == 1
+
+
+def test_task_conservation_balanced_books_pass():
+    checker = InvariantChecker()
+    checker.check_task_conservation(
+        {"n_tasks": 10, "tasks_completed": 8, "tasks_abandoned": 2,
+         "tasks_requeued": 3})
+    assert checker.stats["task_conservation_checks"] == 1
+
+
+def test_task_conservation_lost_task_raises():
+    checker = InvariantChecker()
+    with pytest.raises(InvariantViolation, match="silently lost"):
+        checker.check_task_conservation(
+            {"n_tasks": 10, "tasks_completed": 9, "tasks_abandoned": 0,
+             "tasks_requeued": 1})
+
+
+def test_task_conservation_unfaulted_meta_defaults():
+    # The unfaulted engine records only completions; missing fault keys
+    # default to zero.
+    checker = InvariantChecker()
+    checker.check_task_conservation({"n_tasks": 5, "tasks_completed": 5})

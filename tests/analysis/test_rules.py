@@ -157,6 +157,30 @@ def test_lay402_applies_everywhere():
 
 
 # ----------------------------------------------------------------------
+# FLT5xx: fault-awareness
+# ----------------------------------------------------------------------
+def test_flt501_repair_wait_without_cancellation():
+    source, violations = lint_fixture("flt501", layer="cluster",
+                                      select=["FLT501"])
+    # Only the unprotected repair-path wait is flagged: the with-managed,
+    # try/finally-cancelled, released, allow-listed (normal read),
+    # out-of-scope, and suppressed variants all stay clean.
+    assert flagged_lines(violations, "FLT501") == \
+        lines_containing(source, "yield req")[:1]
+    [violation] = violations
+    assert "repair_reads" in violation.message
+    assert "cancel" in violation.message
+
+
+def test_flt501_scoped_to_fault_injectable_layers():
+    source = (FIXTURES / "flt501.py").read_text(encoding="utf-8")
+    assert lint_source(source, "src/repro/sim/flt501.py",
+                       select=["FLT501"]) == []
+    assert lint_source(source, "src/repro/faults/flt501.py",
+                       select=["FLT501"]) != []
+
+
+# ----------------------------------------------------------------------
 # Driver machinery
 # ----------------------------------------------------------------------
 def test_file_wide_suppression():

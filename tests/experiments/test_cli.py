@@ -11,7 +11,7 @@ def test_experiment_registry_covers_the_paper():
     expected = {"table1", "table2", "table3", "table4", "table5",
                 "fig2", "fig4", "fig7", "fig9", "fig10", "fig11", "fig12",
                 "fig13", "fig14", "breakdown", "range", "headline",
-                "ablations", "durability"}
+                "ablations", "durability", "chaos-tail", "chaos-recovery"}
     assert expected == set(SPECS)
 
 

@@ -1,0 +1,161 @@
+"""FaultInjector replay against live disks/NICs in a bare environment."""
+
+import pytest
+
+from repro.cluster.disk import (
+    FOREGROUND,
+    HDD,
+    IO_CORRUPT,
+    IO_FAILED,
+    IO_OK,
+    Disk,
+)
+from repro.cluster.network import Nic
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.sim import Environment
+
+MB = 1 << 20
+
+
+def _rig(plan, n_disks=4, n_nodes=2):
+    env = Environment()
+    disks = [Disk(env, HDD, i) for i in range(n_disks)]
+    nics = [Nic(env, name=f"nic-{n}") for n in range(n_nodes)]
+    return env, disks, nics, FaultInjector(env, disks, nics, plan)
+
+
+def test_timed_disk_crash_fails_io():
+    plan = FaultPlan(events=(FaultEvent("disk_crash", at=1.0, disk=0),))
+    env, disks, _, injector = _rig(plan)
+    statuses = []
+
+    def proc():
+        statuses.append((yield env.process(disks[0].read(1, MB))))
+        yield env.timeout(2.0)  # past the crash
+        statuses.append((yield env.process(disks[0].read(1, MB))))
+        statuses.append((yield env.process(disks[1].read(1, MB))))
+
+    env.run(env.process(proc()))
+    assert statuses == [IO_OK, IO_FAILED, IO_OK]
+    assert injector.failed_disks == {0}
+    assert disks[0].bytes_read == MB  # the failed read moved no bytes
+
+
+def test_node_crash_takes_all_its_disks():
+    plan = FaultPlan(events=(FaultEvent("node_crash", at=0.5, node=1),))
+    env, disks, _, injector = _rig(plan)
+    env.run(until=1.0)
+    assert injector.failed_disks == {2, 3}
+    assert not disks[0].failed and disks[2].failed and disks[3].failed
+
+
+def test_disk_slowdown_applies_and_restores():
+    plan = FaultPlan(events=(
+        FaultEvent("disk_slow", at=0.0, disk=0, factor=4.0, duration=5.0),))
+    env, disks, _, _ = _rig(plan)
+    baseline = HDD.read_time(1, 16 * MB)
+    durations = []
+
+    def timed_read():
+        t0 = env.now
+        yield env.process(disks[0].read(1, 16 * MB))
+        durations.append(env.now - t0)
+
+    def proc():
+        yield env.process(timed_read())       # slowed window
+        yield env.timeout(10.0)               # past restore
+        yield env.process(timed_read())       # back to normal
+
+    env.run(env.process(proc()))
+    assert durations[0] == pytest.approx(baseline * 4.0)
+    assert durations[1] == pytest.approx(baseline)
+    assert disks[0].speed_factor == 1.0
+
+
+def test_nic_slowdown_stretches_transfers():
+    plan = FaultPlan(events=(
+        FaultEvent("nic_slow", at=0.0, node=0, factor=2.0, duration=50.0),))
+    env, _, nics, _ = _rig(plan)
+    done = []
+
+    def proc():
+        t0 = env.now
+        yield env.process(nics[0].transfer(64 * MB))
+        done.append(env.now - t0)
+
+    env.run(env.process(proc()))
+    assert done[0] == nics[0].transfer_time(64 * MB) * 2.0
+
+
+def test_corruption_surfaces_on_next_reads_only():
+    plan = FaultPlan(events=(FaultEvent("corrupt", at=0.0, disk=0, count=2),))
+    env, disks, _, _ = _rig(plan)
+    statuses = []
+
+    def proc():
+        for _ in range(3):
+            statuses.append((yield env.process(disks[0].read(1, MB))))
+
+    env.run(env.process(proc()))
+    assert statuses == [IO_CORRUPT, IO_CORRUPT, IO_OK]
+    assert disks[0].bytes_read == 3 * MB  # corrupt reads still move bytes
+
+
+def test_progress_events_fire_on_notify():
+    plan = FaultPlan.second_failure(1, at_progress=0.5)
+    env, disks, _, injector = _rig(plan)
+    seen = []
+    injector.on_disk_failure(seen.append)
+    assert injector.has_progress_events
+    injector.notify_progress(0.25)
+    assert not disks[1].failed
+    injector.notify_progress(0.5)
+    assert disks[1].failed
+    assert seen == [1]
+    assert not injector.has_progress_events
+    injector.notify_progress(1.0)  # idempotent once drained
+    assert seen == [1]
+
+
+def test_injected_events_are_recorded_in_order():
+    plan = FaultPlan(events=(
+        FaultEvent("disk_slow", at=2.0, disk=1, factor=2.0, duration=1.0),
+        FaultEvent("disk_crash", at=1.0, disk=0),
+    ))
+    env, _, _, injector = _rig(plan)
+    env.run(until=3.0)
+    assert [e.kind for e in injector.injected] == ["disk_crash", "disk_slow"]
+
+
+def test_crash_is_idempotent_across_node_and_disk_events():
+    plan = FaultPlan(events=(
+        FaultEvent("disk_crash", at=1.0, disk=2),
+        FaultEvent("node_crash", at=2.0, node=1),
+    ))
+    env, _, _, injector = _rig(plan)
+    crashes = []
+    injector.on_disk_failure(crashes.append)
+    env.run(until=3.0)
+    assert crashes == [2, 3]  # disk 2 notified once, not twice
+
+
+def test_queued_read_granted_after_crash_fails_without_service():
+    """A reader queued behind a slow read when the disk dies gets
+    IO_FAILED at grant time — the dead disk's queue drains instantly."""
+    plan = FaultPlan(events=(FaultEvent("disk_crash", at=0.01, disk=0),))
+    env, disks, _, _ = _rig(plan)
+    statuses = []
+
+    def reader():
+        statuses.append((yield env.process(disks[0].read(1, 64 * MB))))
+
+    def proc():
+        first = env.process(disks[0].read(1, 64 * MB))  # holds the queue
+        yield env.timeout(0.001)
+        second = env.process(reader())
+        yield env.all_of([first, second])
+
+    env.run(env.process(proc()))
+    # The first read was in service when the disk died; the queued one is
+    # granted afterwards and must fail immediately.
+    assert statuses == [IO_FAILED]
