@@ -66,6 +66,10 @@ LAYER_DEPS: dict[str, frozenset] = {
     "experiments": frozenset({"experiments", "analysis", "cluster", "codes",
                               "core", "faults", "gf", "obs", "reliability",
                               "runner", "sim", "trace"}),
+    # The benchmark harness drives everything below it but nothing imports
+    # bench back; it sits beside experiments at the top of the DAG.
+    "bench": frozenset({"bench", "cluster", "codes", "core", "experiments",
+                        "gf", "obs", "runner", "sim"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset({

@@ -1,0 +1,86 @@
+"""CLI for the benchmark suite.
+
+Examples::
+
+    python -m repro.bench                         # run + print the table
+    python -m repro.bench --out BENCH_engine.json # also write the document
+    python -m repro.bench --only engine           # substring filter
+    python -m repro.bench --baseline benchmarks/baseline.json --gate 0.20
+
+With ``--baseline`` the exit status is 1 when any benchmark's normalized
+time regresses past the gate tolerance — that is the CI perf gate.  The
+calibration benchmark always runs (it is the normalization denominator),
+even under ``--only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import all_specs, compare, render, run_specs
+from repro.bench.harness import CALIBRATION_GROUP
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the engine/GF/scenario benchmark suite.")
+    parser.add_argument("--out", metavar="OUT.json", default=None,
+                        help="write the bench document (repro.bench/1)")
+    parser.add_argument("--baseline", metavar="BASE.json", default=None,
+                        help="gate against a committed baseline document")
+    parser.add_argument("--gate", type=float, default=0.20, metavar="FRAC",
+                        help="allowed fractional slowdown vs the baseline "
+                             "(default 0.20)")
+    parser.add_argument("--repeats", type=int, default=None, metavar="N",
+                        help="override each spec's repeat count")
+    parser.add_argument("--only", metavar="SUBSTR", default=None,
+                        help="run only benchmarks whose name contains this "
+                             "substring (calibration always runs)")
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmark names and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _parser().parse_args(argv)
+    specs = all_specs()
+    if args.list:
+        for spec in specs:
+            print(f"{spec.name:<34} [{spec.group}]")
+        return 0
+    if args.only is not None:
+        specs = [s for s in specs
+                 if args.only in s.name or s.group == CALIBRATION_GROUP]
+    doc = run_specs(specs, repeats=args.repeats,
+                    progress=lambda name: print(f"  running {name} ...",
+                                                file=sys.stderr))
+    print(render(doc))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressions = compare(doc, baseline, tolerance=args.gate)
+        if regressions:
+            print(f"\nPERF GATE FAILED ({len(regressions)} regression(s) "
+                  f"beyond {args.gate:.0%}):")
+            for reg in regressions:
+                print(f"  {reg}")
+            print("\nIf the slowdown is intentional, refresh "
+                  "benchmarks/baseline.json and include [bench-reset] in "
+                  "the commit message.")
+            return 1
+        print(f"\nperf gate OK (tolerance {args.gate:.0%} vs "
+              f"{args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

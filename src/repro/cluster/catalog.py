@@ -52,6 +52,12 @@ class Catalog:
     _contig_fill: dict[tuple[int, int], int] = field(default_factory=dict)
     #: single-disk layouts: object_id -> its (immutable) placement
     _placements: dict[int, ObjectPlacement] = field(default_factory=dict)
+    #: cached ``isinstance(layout, ContiguousLayout)`` — the ABC instance
+    #: check costs a registry walk and sits on the per-chunk ingest path
+    _contiguous: bool = field(init=False, default=False)
+
+    def __post_init__(self):
+        self._contiguous = isinstance(self.layout, ContiguousLayout)
 
     # ------------------------------------------------------------------
     # Ingest
@@ -97,7 +103,7 @@ class Catalog:
         return self.layout.place(size, failed_disk=failed_role)
 
     def _place_single_disk(self, pg_id: int, role: int, size: int) -> ObjectPlacement:
-        if isinstance(self.layout, ContiguousLayout):
+        if self._contiguous:
             fill = self._contig_fill.get((pg_id, role), 0)
             placement = self.layout.place(size, start_offset=fill)
             self._contig_fill[(pg_id, role)] = fill + size
@@ -107,15 +113,20 @@ class Catalog:
     def _account_chunk(self, pg_id: int, role: int, stored: int,
                        kind: str, data: int) -> None:
         key = (pg_id, role)
-        self.role_bytes[key] = self.role_bytes.get(key, 0) + data
+        role_bytes = self.role_bytes
+        role_bytes[key] = role_bytes.get(key, 0) + data
         if kind == RS_KIND:
-            self.small_bytes[key] = self.small_bytes.get(key, 0) + stored
-        elif isinstance(self.layout, ContiguousLayout):
+            small = self.small_bytes
+            small[key] = small.get(key, 0) + stored
+        elif self._contiguous:
             # Contiguous chunks are shared between unaligned neighbours;
             # bucket occupancy is derived from the packing fill instead.
             pass
         else:
-            self.chunk_counts.setdefault(key, Counter())[stored] += 1
+            counts = self.chunk_counts.get(key)
+            if counts is None:
+                counts = self.chunk_counts[key] = Counter()
+            counts[stored] += 1
 
     # ------------------------------------------------------------------
     # Lookups
@@ -200,7 +211,7 @@ class Catalog:
 
     def _data_chunks(self, pg_id: int, role: int) -> Counter:
         """Chunk-size histogram of one data role's regenerating buckets."""
-        if isinstance(self.layout, ContiguousLayout):
+        if self._contiguous:
             fill = self._contig_fill.get((pg_id, role), 0)
             chunk = self.layout.chunk_size
             return Counter({chunk: -(-fill // chunk)}) if fill else Counter()

@@ -32,26 +32,44 @@ RS_KIND = "rs"
 REGENERATING_KIND = "regenerating"
 
 
-@dataclass(frozen=True)
 class PlacedChunk:
-    """One unit of degraded-read pipelining."""
+    """One unit of degraded-read pipelining.
 
-    data_bytes: int
-    stored_bytes: int
-    code_kind: str = REGENERATING_KIND
-    level: int | None = None
-    disk_index: int = 0
-    needs_repair: bool = True
+    A plain slotted class rather than a frozen dataclass: placements are
+    recomputed per degraded read, so hundreds of thousands of chunks are
+    built per experiment and the frozen-dataclass ``object.__setattr__``
+    per field dominates layout time.  Treat instances as immutable.
+    """
 
-    def __post_init__(self):
-        if self.data_bytes <= 0 or self.stored_bytes < self.data_bytes:
+    __slots__ = ("data_bytes", "stored_bytes", "code_kind", "level",
+                 "disk_index", "needs_repair")
+
+    def __init__(self, data_bytes: int, stored_bytes: int,
+                 code_kind: str = REGENERATING_KIND,
+                 level: int | None = None, disk_index: int = 0,
+                 needs_repair: bool = True):
+        if data_bytes <= 0 or stored_bytes < data_bytes:
             raise ValueError(
-                f"need 0 < data_bytes <= stored_bytes, got {self.data_bytes}/{self.stored_bytes}")
-        if self.code_kind not in (RS_KIND, REGENERATING_KIND):
-            raise ValueError(f"unknown code kind {self.code_kind}")
+                f"need 0 < data_bytes <= stored_bytes, got {data_bytes}/{stored_bytes}")
+        if code_kind is not REGENERATING_KIND \
+                and code_kind not in (RS_KIND, REGENERATING_KIND):
+            raise ValueError(f"unknown code kind {code_kind}")
+        self.data_bytes = data_bytes
+        self.stored_bytes = stored_bytes
+        self.code_kind = code_kind
+        self.level = level
+        self.disk_index = disk_index
+        self.needs_repair = needs_repair
+
+    def __repr__(self) -> str:
+        return (f"PlacedChunk(data_bytes={self.data_bytes}, "
+                f"stored_bytes={self.stored_bytes}, "
+                f"code_kind={self.code_kind!r}, level={self.level}, "
+                f"disk_index={self.disk_index}, "
+                f"needs_repair={self.needs_repair})")
 
 
-@dataclass
+@dataclass(slots=True)
 class ObjectPlacement:
     """How one object is cut up and spread over its disk(s)."""
 
@@ -199,14 +217,18 @@ class StripeLayout(Layout):
         if object_size <= 0:
             raise ValueError("object size must be positive")
         chunks: list[PlacedChunk] = []
+        append = chunks.append
+        strip = self.strip_size
+        k = self.k
+        failed = failed_disk % k
         remaining = object_size
         i = start_role
         while remaining > 0:
-            size = min(self.strip_size, remaining)
-            disk = i % self.k
-            chunks.append(PlacedChunk(size, size, REGENERATING_KIND,
-                                      disk_index=disk,
-                                      needs_repair=(disk == failed_disk % self.k)))
+            size = strip if strip < remaining else remaining
+            disk = i % k
+            append(PlacedChunk(size, size, REGENERATING_KIND,
+                               disk_index=disk,
+                               needs_repair=disk == failed))
             remaining -= size
             i += 1
         return ObjectPlacement(self.name, object_size, chunks, spans_disks=True)

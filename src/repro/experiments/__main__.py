@@ -322,7 +322,9 @@ def main(argv: list[str] | None = None) -> int:
             json.dump({"traceEvents": report.trace_events(),
                        "displayTimeUnit": "ms"}, fh)
     if args.bench_out:
-        doc = report.bench_doc(jobs=args.jobs)
+        doc = report.bench_doc(jobs=args.jobs,
+                               groups=[(name, lo, hi)
+                                       for name, lo, hi, _render in sections])
         doc["totals"]["elapsed_s"] = round(wall, 6)
         with open(args.bench_out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

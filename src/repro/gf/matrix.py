@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gf.field import INV_TABLE, MUL_TABLE, gf_pow
+from repro.gf.field import EXP, INV_TABLE, LOG, MUL_TABLE
 
 
 class SingularMatrixError(ValueError):
@@ -107,10 +107,16 @@ def vandermonde(rows: int, points: list[int] | np.ndarray) -> np.ndarray:
     points = list(points)
     if len(set(points)) != len(points):
         raise ValueError("Vandermonde points must be distinct")
-    out = np.zeros((rows, len(points)), dtype=np.uint8)
-    for j, x in enumerate(points):
-        for i in range(rows):
-            out[i, j] = gf_pow(x, i)
+    pts = np.asarray(points, dtype=np.int64)
+    # x**i = EXP[(log x * i) mod 255] for x != 0 — one outer product over
+    # the log table instead of rows*cols Python-level gf_pow calls.
+    exponents = (LOG[pts][None, :] * np.arange(rows, dtype=np.int64)[:, None]) % 255
+    out = EXP[exponents].copy()
+    zero = pts == 0  # LOG[0] is a placeholder: patch 0**i columns by hand
+    if zero.any():
+        out[:, zero] = 0
+        if rows:
+            out[0, zero] = 1  # 0**0 == 1
     return out
 
 
@@ -125,11 +131,9 @@ def cauchy_matrix(xs: list[int], ys: list[int]) -> np.ndarray:
         raise ValueError("Cauchy xs and ys must be disjoint")
     if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
         raise ValueError("Cauchy points must be distinct")
-    out = np.zeros((len(xs), len(ys)), dtype=np.uint8)
-    for i, x in enumerate(xs):
-        for j, y in enumerate(ys):
-            out[i, j] = INV_TABLE[x ^ y]
-    return out
+    sums = np.bitwise_xor.outer(np.asarray(xs, dtype=np.int64),
+                                np.asarray(ys, dtype=np.int64))
+    return INV_TABLE[sums].copy()
 
 
 def systematic_generator(k: int, r: int) -> np.ndarray:

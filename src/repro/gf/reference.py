@@ -1,0 +1,129 @@
+"""Pure-Python reference GF(2^8) arithmetic — the oracle for the fast path.
+
+Every kernel in :mod:`repro.gf.field` and :mod:`repro.gf.matrix` is
+table-driven (log/antilog and full multiplication tables indexed with numpy
+fancy indexing).  This module implements the same field *from first
+principles* — carry-less polynomial multiplication reduced modulo
+:data:`~repro.gf.field.PRIMITIVE_POLY`, square-and-multiply exponentiation,
+and schoolbook Gauss-Jordan over plain Python lists — with no tables and no
+numpy.  It is deliberately slow and obvious: the hypothesis property suite
+(``tests/gf/test_reference_properties.py``) checks the vectorized kernels
+element-for-element against these functions on random matrices, which is
+what lets the optimized path evolve without risking silent corruption.
+
+Nothing in the package's production paths imports this module; it exists
+for tests and for auditability.
+"""
+
+from __future__ import annotations
+
+from repro.gf.field import GF_ORDER, PRIMITIVE_POLY
+
+
+def mul(a: int, b: int) -> int:
+    """Carry-less multiply mod the primitive polynomial (Russian peasant)."""
+    if not 0 <= a < GF_ORDER or not 0 <= b < GF_ORDER:
+        raise ValueError(f"operands must be field elements, got {a}, {b}")
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= PRIMITIVE_POLY
+    return out
+
+
+def pow_(a: int, n: int) -> int:
+    """Exponentiation by squaring; n may be negative for a != 0."""
+    if a == 0:
+        if n == 0:
+            return 1
+        if n < 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return 0
+    n %= GF_ORDER - 1  # the multiplicative group has order 255
+    out = 1
+    base = a
+    while n:
+        if n & 1:
+            out = mul(out, base)
+        base = mul(base, base)
+        n >>= 1
+    return out
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse via Fermat: a^(2^8 - 2)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return pow_(a, GF_ORDER - 2)
+
+
+def mat_mul(a: list[list[int]], b: list[list[int]]) -> list[list[int]]:
+    """Schoolbook matrix product over GF(256) on plain lists."""
+    if not a or not b or len(a[0]) != len(b):
+        raise ValueError("incompatible shapes")
+    cols = len(b[0])
+    shared = len(b)
+    out = []
+    for row in a:
+        out_row = []
+        for j in range(cols):
+            acc = 0
+            for l in range(shared):
+                acc ^= mul(row[l], b[l][j])
+            out_row.append(acc)
+        out.append(out_row)
+    return out
+
+
+def mat_vec(a: list[list[int]], x: list[int]) -> list[int]:
+    """Matrix-vector product over GF(256) on plain lists."""
+    out = []
+    for row in a:
+        acc = 0
+        for coeff, val in zip(row, x, strict=True):
+            acc ^= mul(coeff, val)
+        out.append(acc)
+    return out
+
+
+def mat_inv(a: list[list[int]]) -> list[list[int]]:
+    """Gauss-Jordan inverse on plain lists; raises ValueError if singular."""
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise ValueError("matrix is not square")
+    m = [list(row) + [int(i == j) for j in range(n)]
+         for i, row in enumerate(a)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if m[r][col]), None)
+        if pivot is None:
+            raise ValueError(f"singular at column {col}")
+        if pivot != col:
+            m[col], m[pivot] = m[pivot], m[col]
+        scale = inv(m[col][col])
+        m[col] = [mul(scale, v) for v in m[col]]
+        for r in range(n):
+            if r == col or not m[r][col]:
+                continue
+            factor = m[r][col]
+            m[r] = [v ^ mul(factor, p) for v, p in zip(m[r], m[col])]
+    return [row[n:] for row in m]
+
+
+def vandermonde(rows: int, points: list[int]) -> list[list[int]]:
+    """Reference Vandermonde construction V[i][j] = points[j]**i."""
+    if len(set(points)) != len(points):
+        raise ValueError("Vandermonde points must be distinct")
+    return [[pow_(x, i) for x in points] for i in range(rows)]
+
+
+def cauchy_matrix(xs: list[int], ys: list[int]) -> list[list[int]]:
+    """Reference Cauchy construction C[i][j] = 1 / (xs[i] + ys[j])."""
+    if set(xs) & set(ys):
+        raise ValueError("Cauchy xs and ys must be disjoint")
+    if len(set(xs)) != len(xs) or len(set(ys)) != len(ys):
+        raise ValueError("Cauchy points must be distinct")
+    return [[inv(x ^ y) for y in ys] for x in xs]

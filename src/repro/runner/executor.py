@@ -130,12 +130,21 @@ class RunReport:
         checker.stats.update(stats)
         return checker.report()
 
-    def bench_doc(self, jobs: int | None = None) -> dict[str, Any]:
-        """The ``BENCH_experiments.json`` document."""
+    def bench_doc(self, jobs: int | None = None,
+                  groups: list[tuple[str, int, int]] | None = None
+                  ) -> dict[str, Any]:
+        """The ``BENCH_experiments.json`` document.
+
+        ``groups`` — optional ``(name, first, one_past_last)`` slices of the
+        outcome list (the CLI passes its experiment sections) — adds a
+        per-group totals block with each group's slowest units, so a slow
+        ``all`` run points at an experiment without spelunking the flat
+        unit list.
+        """
         hits = sum(1 for o in self.outcomes if o.status == "hit")
         dedups = sum(1 for o in self.outcomes if o.status == "dedup")
         misses = sum(1 for o in self.outcomes if o.status == "miss")
-        return {
+        doc = {
             "schema": 1,
             "sim_version": self.sim_version,
             "root_seed": self.root_seed,
@@ -153,6 +162,25 @@ class RunReport:
                 "sim_time_s": sum(o.sim_time_s or 0.0
                                   for o in self.outcomes),
             },
+        }
+        if groups is not None:
+            doc["groups"] = {
+                name: self._group_doc(self.outcomes[lo:hi])
+                for name, lo, hi in groups}
+        return doc
+
+    @staticmethod
+    def _group_doc(outcomes: list[UnitOutcome],
+                   n_slowest: int = 3) -> dict[str, Any]:
+        slowest = sorted(outcomes, key=lambda o: (-o.wall_s, o.name))
+        return {
+            "units": len(outcomes),
+            "misses": sum(1 for o in outcomes if o.status == "miss"),
+            "wall_s": round(sum(o.wall_s for o in outcomes), 6),
+            "sim_time_s": sum(o.sim_time_s or 0.0 for o in outcomes),
+            "slowest": [{"name": o.name, "status": o.status,
+                         "wall_s": round(o.wall_s, 6)}
+                        for o in slowest[:n_slowest]],
         }
 
 

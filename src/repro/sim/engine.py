@@ -4,11 +4,36 @@ Processes are Python generators that ``yield`` events; the engine resumes a
 process with the event's value once it triggers.  A process is itself an
 event that triggers with the generator's return value, so processes can wait
 on each other and on :class:`AllOf` fan-ins.
+
+Hot-path layout
+---------------
+The scheduler is the single hottest loop of the whole reproduction (every
+disk I/O is three to five events), so its data structures are chosen for
+constant factors, and every optimization is constrained to be *bit-identical*:
+the pop order of events and the number of scheduled events / process resumes
+(both observable through trace hooks and the ``--json`` metric snapshots)
+must not change — see DESIGN.md, "The bit-identity constraint".
+
+* Events carry ``__slots__`` and a ``_queued`` flag instead of membership in
+  a side ``set`` — no per-event hashing on the schedule/pop path.
+* The queue is split into a binary heap for *future* events (timeouts) and a
+  FIFO deque for *immediate* events (triggered callbacks, process starts,
+  zero-delay timeouts), which dominate the event mix.  Entries are plain
+  ``(when, seq, event)`` tuples in both.  Immediate events are appended with
+  ``when == now`` and a monotonically increasing ``seq`` while the clock
+  only moves forward, so the deque is always sorted by ``(when, seq)`` and
+  the global pop order — min of deque head and heap head — is exactly the
+  order a single shared heap would produce.
+* Event/Timeout/Process construction inlines the base initializer and the
+  schedule step: object churn per simulated I/O is a handful of tuple and
+  list allocations, with no callback indirection beyond the one stored
+  waiter callback.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 
@@ -32,15 +57,21 @@ class Interrupted(Exception):
 
 
 class Event:
-    """A one-shot event; callbacks fire when it triggers."""
+    """A one-shot event; callbacks fire when it triggers.
 
-    __slots__ = ("env", "callbacks", "_value", "triggered")
+    ``_queued`` is True while the event sits in the engine's queue (between
+    scheduling and its pop in :meth:`Environment.run`); waiters use it to
+    tell a fired-and-drained event from one whose callbacks are still due.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "triggered", "_queued")
 
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: list[Callable[[Event], None]] = []
         self._value: Any = None
         self.triggered = False
+        self._queued = False
 
     @property
     def value(self) -> Any:
@@ -55,7 +86,13 @@ class Event:
             raise SimulationError("event already triggered")
         self.triggered = True
         self._value = value
-        self.env._schedule_callbacks(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        self._queued = True
+        env._ready.append((env.now, seq, self))
+        hook = env._on_schedule
+        if hook is not None:
+            hook(env.now, self)
         return self
 
 
@@ -67,10 +104,20 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
-        self.triggered = True  # pre-armed: nobody may succeed() it again
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule_at(env.now + delay, self)
+        self.triggered = True  # pre-armed: nobody may succeed() it again
+        self._queued = True
+        when = env.now + delay
+        env._seq = seq = env._seq + 1
+        if when > env.now:
+            heapq.heappush(env._queue, (when, seq, self))
+        else:
+            env._ready.append((when, seq, self))
+        hook = env._on_schedule
+        if hook is not None:
+            hook(when, self)
 
 
 class Process(Event):
@@ -85,30 +132,45 @@ class Process(Event):
     __slots__ = ("_gen", "_hooks", "_target")
 
     def __init__(self, env: "Environment", gen: Generator):
-        super().__init__(env)
         if not hasattr(gen, "send"):
             raise SimulationError("process target must be a generator")
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self.triggered = False
+        self._queued = False
         self._gen = gen
         self._hooks = env.trace_hooks
-        self._target: Event | None = None
         env._processes.append(self)
         # Start the process at the current time.
         start = Event(env)
         start.callbacks.append(self._resume)
-        self._target = start
-        start.succeed()
+        self._target: Event | None = start
+        start.triggered = True
+        env._seq = seq = env._seq + 1
+        start._queued = True
+        env._ready.append((env.now, seq, start))
+        hook = env._on_schedule
+        if hook is not None:
+            hook(env.now, start)
 
     def _finish(self, value: Any) -> None:
         self._target = None
         self.triggered = True
         self._value = value
-        self.env._schedule_callbacks(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        self._queued = True
+        env._ready.append((env.now, seq, self))
+        hook = env._on_schedule
+        if hook is not None:
+            hook(env.now, self)
 
     def _wait_on(self, target: Any) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process yielded {target!r}; processes must yield events")
-        if target.triggered and not target.callbacks and target not in self.env._pending:
+        if target.triggered and not target.callbacks and not target._queued:
             # Already fired and drained: resume immediately via a fresh hop.
             hop = Event(self.env)
             hop.callbacks.append(self._resume)
@@ -123,14 +185,30 @@ class Process(Event):
             # Stale wakeup: the wait was interrupted (or finished) after
             # this event had already been detached for firing.
             return
-        if self._hooks is not None:
-            self._hooks.on_resume(self, trigger)
+        hooks = self._hooks
+        if hooks is not None:
+            hooks.on_resume(self, trigger)
         try:
             target = self._gen.send(trigger._value)
         except StopIteration as stop:
             self._finish(stop.value)
             return
-        self._wait_on(target)
+        # Inlined _wait_on: EAFP stands in for the isinstance check —
+        # anything without an event's callback list is a misuse.
+        try:
+            cbs = target.callbacks
+        except AttributeError:
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield "
+                f"events") from None
+        if target.triggered and not cbs and not target._queued:
+            hop = Event(self.env)
+            hop.callbacks.append(self._resume)
+            self._target = hop
+            hop.succeed(target._value)
+        else:
+            cbs.append(self._resume)
+            self._target = target
 
     def interrupt(self, cause: Any = None) -> bool:
         """Cancel this process's current wait by throwing
@@ -174,7 +252,7 @@ class AllOf(Event):
         self._events = list(events)
         self._waiting = 0
         for ev in self._events:
-            if ev.triggered and not ev.callbacks and ev not in env._pending:
+            if ev.triggered and not ev.callbacks and not ev._queued:
                 continue
             self._waiting += 1
             ev.callbacks.append(self._child_done)
@@ -203,7 +281,7 @@ class AnyOf(Event):
         if not self._events:
             raise SimulationError("any_of requires at least one event")
         for ev in self._events:
-            if ev.triggered and not ev.callbacks and ev not in env._pending:
+            if ev.triggered and not ev.callbacks and not ev._queued:
                 # Already fired and drained: win the race immediately.
                 self.succeed(ev._value)
                 return
@@ -220,36 +298,43 @@ class Environment:
 
     ``trace_hooks`` (optional) receives ``on_schedule(when, event)`` for
     every enqueued event and ``on_resume(process, trigger)`` for every
-    process resumption — see :class:`repro.obs.EngineHooks`.  The default
-    ``None`` keeps the hot path free of instrumentation beyond one
-    ``is not None`` test.
+    process resumption — see :class:`repro.obs.EngineHooks`.  The hook is
+    bound once at construction (``_on_schedule``), so the untraced hot path
+    pays a single ``is not None`` test per scheduled event.
+
+    Future events (positive-delay timeouts) live in the ``_queue`` heap;
+    immediate events (callbacks of triggered events, process starts,
+    zero-delay timeouts) live in the ``_ready`` FIFO deque.  See the module
+    docstring for why popping the smaller of the two heads reproduces the
+    single-heap order exactly.
     """
+
+    __slots__ = ("now", "trace_hooks", "_queue", "_ready", "_seq",
+                 "_processes", "_on_schedule")
 
     def __init__(self, trace_hooks=None):
         self.now: float = 0.0
         self.trace_hooks = trace_hooks
         self._queue: list[tuple[float, int, Event]] = []
+        self._ready: deque[tuple[float, int, Event]] = deque()
         self._seq = 0
-        self._pending: set[Event] = set()
         self._processes: list[Process] = []
-        if trace_hooks is not None:
-            # Shadow the class method so the untraced hot path carries no
-            # per-event hook test at all.
-            self._schedule_at = self._schedule_at_traced
+        self._on_schedule = (trace_hooks.on_schedule
+                             if trace_hooks is not None else None)
 
     # ------------------------------------------------------------------
     # Scheduling internals
     # ------------------------------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, event))
-        self._pending.add(event)
-
-    def _schedule_at_traced(self, when: float, event: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, event))
-        self._pending.add(event)
-        self.trace_hooks.on_schedule(when, event)
+        self._seq = seq = self._seq + 1
+        event._queued = True
+        if when > self.now:
+            heapq.heappush(self._queue, (when, seq, event))
+        else:
+            self._ready.append((when, seq, event))
+        hook = self._on_schedule
+        if hook is not None:
+            hook(when, event)
 
     def _schedule_callbacks(self, event: Event) -> None:
         self._schedule_at(self.now, event)
@@ -291,21 +376,46 @@ class Environment:
         else:
             stop_event = None
             deadline = float(until)
-        while self._queue:
-            when, _seq, event = self._queue[0]
+        queue = self._queue
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        while True:
+            # The next event is the smaller (when, seq) of the two heads;
+            # seq values are unique, so the tuple compare never reaches
+            # the (incomparable) event objects.
+            if ready:
+                head = ready[0]
+                if queue and queue[0] < head:
+                    head = queue[0]
+                    in_heap = True
+                else:
+                    in_heap = False
+            elif queue:
+                head = queue[0]
+                in_heap = True
+            else:
+                break
+            when = head[0]
             if deadline is not None and when > deadline:
                 self.now = deadline
                 return None
-            heapq.heappop(self._queue)
-            self._pending.discard(event)
+            if in_heap:
+                pop(queue)
+            else:
+                popleft()
+            event = head[2]
+            event._queued = False
             if when < self.now:
                 raise SimulationError(
                     f"sim clock would run backwards: event at t={when!r} "
                     f"popped at t={self.now!r}")
             self.now = when
-            callbacks, event.callbacks = event.callbacks, []
-            for cb in callbacks:
-                cb(event)
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for cb in callbacks:
+                    cb(event)
             if stop_event is not None and stop_event.triggered:
                 return stop_event._value
         if stop_event is not None and not stop_event.triggered:

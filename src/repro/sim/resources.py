@@ -50,7 +50,13 @@ class Request(Event):
                  "request_time", "grant_time")
 
     def __init__(self, env: Environment, resource: "Resource", priority: int):
-        super().__init__(env)
+        # Inlined Event.__init__ — requests are created once per simulated
+        # I/O, so the extra constructor hop is measurable.
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self.triggered = False
+        self._queued = False
         self.resource = resource
         self.priority = priority
         self.granted = False
@@ -87,6 +93,11 @@ class Request(Event):
 
 class Resource:
     """A counted resource with a FIFO wait queue."""
+
+    __slots__ = ("env", "capacity", "in_use", "_waiters", "_n_cancelled",
+                 "_seq", "_usage_integral", "_created", "_last_change",
+                 "_obs", "_kind", "_depth_gauge", "_in_use_gauge",
+                 "_wait_hists")
 
     def __init__(self, env: Environment, capacity: int = 1, obs=None,
                  kind: str | None = None, instance: str | None = None):
@@ -145,13 +156,14 @@ class Resource:
     def request(self, priority: int = 0) -> Request:
         """Request the resource; yields when granted."""
         req = Request(self.env, self, priority)
-        if self.in_use < self.capacity and self.queue_length == 0:
-            if self._waiters:  # only cancelled husks remain: drop them
-                self._waiters.clear()
+        waiters = self._waiters
+        if self.in_use < self.capacity and len(waiters) == self._n_cancelled:
+            if waiters:  # only cancelled husks remain: drop them
+                waiters.clear()
                 self._n_cancelled = 0
             self._grant(req)
         else:
-            heapq.heappush(self._waiters, (self._key(priority), next(self._seq), req))
+            heapq.heappush(waiters, (self._key(priority), next(self._seq), req))
             if self._obs is not None:
                 self._depth_gauge.set(self.queue_length, self.env.now)
         return req
@@ -160,10 +172,14 @@ class Resource:
         return 0  # plain Resource ignores priority: strict FIFO
 
     def _grant(self, req: Request) -> None:
-        self._account()
+        # Inlined _account(): grants/releases bound the utilization
+        # integral's update rate, and the call overhead shows in profiles.
+        now = self.env.now
+        self._usage_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
         self.in_use += 1
         req.granted = True
-        req.grant_time = self.env.now
+        req.grant_time = now
         if self._obs is not None:
             self._observe_grant(req)
         req.succeed(req)
@@ -197,7 +213,9 @@ class Resource:
             raise SimulationError("releasing a request that was never granted")
         req.released = True
         req.granted = False
-        self._account()
+        now = self.env.now
+        self._usage_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
         self.in_use -= 1
         if self._obs is not None:
             self._in_use_gauge.set(self.in_use, self.env.now)
@@ -231,6 +249,8 @@ class Resource:
 
 class PriorityResource(Resource):
     """Lower ``priority`` numbers are served first; FIFO within a class."""
+
+    __slots__ = ()
 
     def _key(self, priority: int) -> int:
         return priority

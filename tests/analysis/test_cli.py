@@ -59,3 +59,20 @@ def test_list_rules(capsys):
     for rule_id in ("SIM101", "SIM102", "SIM103", "GEN201", "GEN202",
                     "GEN203", "RES301", "RES302", "LAY401", "LAY402"):
         assert rule_id in out
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    """``python -m repro.analysis`` routes through cli.main and exits."""
+    import runpy
+
+    path = _sim_file(tmp_path, "def f(env):\n    return env.now\n")
+    import sys
+    from unittest import mock
+
+    with mock.patch.object(sys, "argv", ["repro.analysis", str(path)]):
+        try:
+            runpy.run_module("repro.analysis.__main__", run_name="__main__")
+        except SystemExit as exc:
+            assert exc.code == 0
+        else:
+            raise AssertionError("module entry point did not exit")

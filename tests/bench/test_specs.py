@@ -1,0 +1,55 @@
+"""Smoke tests: every benchmark body runs and returns a sane value.
+
+The timing harness is tested in ``test_harness.py``; here each spec's
+callable is invoked once (no repeats, no timing) so a broken benchmark
+fails the suite rather than silently reporting garbage to the CI gate.
+The heavy macros (fig13/tradeoff at bench scale) are exercised through a
+cheaper equivalent: the shared ``_run`` helper with the fig4 units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import macro, micro
+
+
+@pytest.mark.parametrize("spec", micro.specs(), ids=lambda s: s.name)
+def test_micro_spec_bodies_run(spec):
+    value = spec.fn()
+    assert value is not None
+    assert spec.units >= 1
+
+
+def test_micro_decode_paths_agree():
+    """Cold and cached decode benchmarks compute the same checksum."""
+    assert micro._decode_cold() == micro._decode_cached()
+
+
+def test_micro_engine_benchmarks_advance_the_clock():
+    assert micro._event_throughput() == float(micro._N_EVENTS)
+    assert micro._ready_lane() == 0.0  # zero-delay storm never moves time
+    assert micro._process_churn() == 2.0 * micro._N_PROCS
+
+
+def test_micro_contention_reports_utilization():
+    util = micro._contention()
+    assert 0.0 < util <= 1.0
+
+
+def test_macro_fig4_runs_real_scenarios():
+    rows = macro._fig4()
+    assert rows > 0
+
+
+def test_macro_specs_shapes():
+    specs = macro.specs()
+    assert [s.group for s in specs] == ["macro"] * len(specs)
+    assert all(s.repeats == 2 for s in specs)
+
+
+def test_micro_stripe_fixture_is_consistent():
+    """The module-level RS stripe used by decode benches is decodable."""
+    erased = micro._ERASED
+    decoded = micro._RS.decode(micro._AVAILABLE, erased, micro._CHUNK)
+    for node in erased:
+        assert np.array_equal(decoded[node], micro._STRIPE[node])

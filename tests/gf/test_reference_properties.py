@@ -1,0 +1,187 @@
+"""Property tests: table-driven GF kernels vs the pure-Python reference.
+
+The production kernels in ``repro.gf.field`` / ``repro.gf.matrix`` are
+numpy log/antilog table lookups; ``repro.gf.reference`` recomputes the same
+field with carry-less polynomial arithmetic and plain-list Gauss-Jordan.
+These tests pin the two implementations element-for-element on random
+inputs — the safety net that lets the vectorized path keep evolving.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import reference as ref
+from repro.gf.field import (
+    EXP,
+    GF_ORDER,
+    INV_TABLE,
+    LOG,
+    MUL_TABLE,
+    gf_mul,
+    gf_pow,
+)
+from repro.gf.matrix import (
+    SingularMatrixError,
+    cauchy_matrix,
+    mat_identity,
+    mat_inv,
+    mat_mul,
+    mat_vec,
+    vandermonde,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+
+
+# ----------------------------------------------------------------------
+# scalar kernels: exhaustive and property-based
+# ----------------------------------------------------------------------
+def test_mul_table_matches_reference_exhaustively():
+    expected = np.array([[ref.mul(a, b) for b in range(GF_ORDER)]
+                         for a in range(GF_ORDER)], dtype=np.uint8)
+    assert np.array_equal(MUL_TABLE, expected)
+
+
+def test_inv_table_matches_reference():
+    for a in range(1, GF_ORDER):
+        assert int(INV_TABLE[a]) == ref.inv(a)
+
+
+def test_exp_log_tables_are_consistent_with_reference_powers():
+    for e in range(255):
+        assert int(EXP[e]) == ref.pow_(2, e)
+    for a in range(1, GF_ORDER):
+        assert int(EXP[LOG[a]]) == a
+
+
+@given(a=elements, n=st.integers(min_value=-300, max_value=300))
+@settings(max_examples=100, deadline=None)
+def test_gf_pow_matches_reference(a, n):
+    if a == 0 and n < 0:
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(a, n)
+        with pytest.raises(ZeroDivisionError):
+            ref.pow_(a, n)
+        return
+    assert gf_pow(a, n) == ref.pow_(a, n)
+
+
+def test_reference_mul_rejects_non_field_elements():
+    with pytest.raises(ValueError):
+        ref.mul(256, 1)
+    with pytest.raises(ValueError):
+        ref.mul(1, -1)
+
+
+# ----------------------------------------------------------------------
+# matrix kernels on random matrices
+# ----------------------------------------------------------------------
+shapes = st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+
+
+@given(shape=shapes, seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_mat_mul_matches_reference(shape, seed):
+    m, k, n = shape
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(m, k), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(k, n), dtype=np.uint8)
+    expected = ref.mat_mul(a.tolist(), b.tolist())
+    assert mat_mul(a, b).tolist() == expected
+
+
+@given(shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+       seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_mat_vec_matches_reference(shape, seed):
+    m, k = shape
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(m, k), dtype=np.uint8)
+    x = rng.integers(0, 256, size=k, dtype=np.uint8)
+    assert mat_vec(a, x).tolist() == ref.mat_vec(a.tolist(), x.tolist())
+
+
+@given(n=st.integers(1, 6), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_mat_inv_agrees_with_reference_on_random_matrices(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+    try:
+        expected = ref.mat_inv(a.tolist())
+    except ValueError:
+        with pytest.raises(SingularMatrixError):
+            mat_inv(a)
+        return
+    assert mat_inv(a).tolist() == expected
+
+
+def test_mat_inv_identity_edge_case():
+    for n in (1, 4, 16):
+        eye = mat_identity(n)
+        assert np.array_equal(mat_inv(eye), eye)
+        assert ref.mat_inv(eye.tolist()) == eye.tolist()
+
+
+def test_mat_inv_singular_edge_cases():
+    zero = np.zeros((3, 3), dtype=np.uint8)
+    with pytest.raises(SingularMatrixError):
+        mat_inv(zero)
+    with pytest.raises(ValueError):
+        ref.mat_inv(zero.tolist())
+    # duplicated rows: rank deficient but not zero
+    dup = np.array([[1, 2, 3], [1, 2, 3], [4, 5, 6]], dtype=np.uint8)
+    with pytest.raises(SingularMatrixError):
+        mat_inv(dup)
+    with pytest.raises(ValueError):
+        ref.mat_inv(dup.tolist())
+
+
+# ----------------------------------------------------------------------
+# constructions: the vectorized vandermonde/cauchy vs the loops
+# ----------------------------------------------------------------------
+@given(rows=st.integers(0, 8),
+       points=st.lists(elements, min_size=1, max_size=10, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_vandermonde_matches_reference(rows, points):
+    got = vandermonde(rows, points)
+    assert got.dtype == np.uint8
+    assert got.tolist() == ref.vandermonde(rows, points)
+
+
+def test_vandermonde_zero_point_edge_case():
+    # 0**0 == 1, 0**i == 0 for i > 0: the column the log-table trick
+    # cannot produce directly.
+    v = vandermonde(4, [0, 1, 2])
+    assert v[:, 0].tolist() == [1, 0, 0, 0]
+    assert v.tolist() == ref.vandermonde(4, [0, 1, 2])
+
+
+@given(seed=st.integers(0, 2**32 - 1),
+       nx=st.integers(1, 8), ny=st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_cauchy_matches_reference(seed, nx, ny):
+    rng = np.random.default_rng(seed)
+    pts = rng.permutation(256)[:nx + ny]
+    xs, ys = pts[:nx].tolist(), pts[nx:].tolist()
+    got = cauchy_matrix(xs, ys)
+    assert got.dtype == np.uint8
+    assert got.tolist() == ref.cauchy_matrix(xs, ys)
+
+
+def test_construction_validation_matches_reference():
+    for fn in (vandermonde, ref.vandermonde):
+        with pytest.raises(ValueError):
+            fn(3, [1, 1, 2])
+    for fn in (cauchy_matrix, ref.cauchy_matrix):
+        with pytest.raises(ValueError):
+            fn([1, 2], [2, 3])  # overlap
+        with pytest.raises(ValueError):
+            fn([1, 1], [2, 3])  # duplicate
+
+
+@given(a=elements, b=elements)
+@settings(max_examples=100, deadline=None)
+def test_gf_mul_is_reference_mul(a, b):
+    assert gf_mul(a, b) == ref.mul(a, b)
