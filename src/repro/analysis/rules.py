@@ -19,6 +19,9 @@ LAY402  mutable default argument
 FLT501  repair-path wait on a fault-injectable resource grant without
         timeout/cancellation handling (normal-read service routines
         are allow-listed)
+OBS601  per-event metric registry lookup (``.counter(...)`` /
+        ``.gauge(...)`` / ``.histogram(...)``) inside a loop of a
+        process generator; hoist the handle before the loop
 ======  ============================================================
 
 Every rule applies to a set of *layers* (``repro`` subpackages).  The
@@ -546,9 +549,68 @@ class MutableDefaultRule(Rule):
                 and node.func.id in _MUTABLE_CONSTRUCTORS)
 
 
+#: Registry accessor methods that hash labels and consult a dict per call.
+_REGISTRY_LOOKUPS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _scoped_nodes(node: ast.AST) -> Iterable[ast.AST]:
+    """Every node beneath ``node`` without entering nested functions."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class HotLoopMetricLookupRule(Rule):
+    id = "OBS601"
+    summary = ("metric registry lookups inside process-generator loops must "
+               "be hoisted to pre-bound handles")
+    layers = frozenset({"sim", "cluster", "faults"})
+
+    def check(self, tree, source, path):
+        seen: set[tuple[int, int]] = set()
+        for fn in ast.walk(tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            own = list(_scoped_nodes(fn))
+            if not any(isinstance(n, (ast.Yield, ast.YieldFrom))
+                       for n in own):
+                continue  # not a process generator: one-shot cost is fine
+            for loop in own:
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                for node in _scoped_nodes(loop):
+                    if not (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in _REGISTRY_LOOKUPS):
+                        continue
+                    chain = _dotted(node.func.value)
+                    if chain is None:
+                        continue
+                    parts = chain.lower().split(".")
+                    if "tracer" in parts:
+                        continue  # tracer.counter tracks, not the registry
+                    if not any("metrics" in p or p == "obs" for p in parts):
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue  # nested loops see the same call twice
+                    seen.add(key)
+                    yield Violation(
+                        self.id, path, node.lineno, node.col_offset,
+                        f"`{chain}.{node.func.attr}(...)` inside a loop of "
+                        f"process generator `{fn.name}` looks the metric up "
+                        "per iteration; hoist the handle before the loop")
+
+
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(), NondeterministicRngRule(), SetIterationRule(),
     BareYieldRule(), NonEventYieldRule(), DiscardedProcessReturnRule(),
     ResourceReleaseRule(), UnprotectedWaitRule(),
     LayeringRule(), MutableDefaultRule(), HedgelessRepairWaitRule(),
+    HotLoopMetricLookupRule(),
 )

@@ -14,6 +14,9 @@ Examples::
     python -m repro.experiments all --jobs 4          # second run: cached
     python -m repro.experiments fig10 --seed 7 --json # machine-readable
     python -m repro.experiments all --bench-out BENCH_experiments.json
+    python -m repro.experiments fig13 --timeline --report fig13.html
+    python -m repro.experiments all --profile            # wall-clock flame
+    python -m repro.experiments chaos-tail --flightrec postmortems/
 """
 
 from __future__ import annotations
@@ -254,6 +257,30 @@ def _parser() -> argparse.ArgumentParser:
                         help="run with the repro.analysis invariant checker "
                              "armed: monotonic sim clock, codec byte "
                              "conservation, end-of-run resource-leak audit")
+    parser.add_argument("--timeline", metavar="OUT.json", nargs="?",
+                        const="timeline.json", default=None,
+                        help="sample every unit's metrics on a sim-time grid "
+                             "and write the merged repro.timeline/1 doc "
+                             "(default file: timeline.json); exact for any "
+                             "--jobs value")
+    parser.add_argument("--sample-interval", type=float, default=None,
+                        metavar="S",
+                        help="timeline sample pitch in sim seconds "
+                             "(default: auto-scale per measurement)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute wall-clock time per process site "
+                             "(engine dispatch loop profiler); implies a "
+                             "live run, never cached")
+    parser.add_argument("--flightrec", metavar="DIR", default=None,
+                        help="arm a per-unit flight recorder; postmortem "
+                             "bundles land in DIR when a unit raises or "
+                             "logs incidents (abandoned repairs, invariant "
+                             "violations)")
+    parser.add_argument("--report", metavar="OUT.html", default=None,
+                        help="write a self-contained HTML run report "
+                             "(timelines, span waterfall, percentile "
+                             "tables, profile); implies --timeline-style "
+                             "sampling and trace capture")
     return parser
 
 
@@ -264,6 +291,16 @@ def _result_doc(result) -> dict:
     if obs and "trace_events" in obs:
         doc["obs"] = {k: v for k, v in obs.items() if k != "trace_events"}
     return doc
+
+
+def _progress_printer():
+    """A single-line live progress callback for interactive fan-out runs."""
+    def progress(done: int, total: int, status: str, name: str) -> None:
+        line = f"[{done}/{total}] {status:<5} {name}"
+        print(f"\r{line[:100]:<100}", end="", file=sys.stderr, flush=True)
+        if done == total:
+            print(file=sys.stderr)
+    return progress
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -282,11 +319,21 @@ def main(argv: list[str] | None = None) -> int:
                          render))
         units.extend(scenarios)
 
+    # --report needs trace events (the span waterfall) and a timeline;
+    # asking for either arms the live-run capture path for every unit.
+    want_timeline = args.timeline is not None or args.report is not None
+    want_trace = args.trace is not None or args.report is not None
+    progress = _progress_printer() if sys.stderr.isatty() else None
     options = RunOptions(
         jobs=args.jobs, seed=args.seed, cache=not args.no_cache,
         cache_dir=args.cache_dir,
-        capture=Capture(trace=args.trace is not None, metrics=args.metrics,
-                        invariants=args.check_invariants))
+        capture=Capture(trace=want_trace, metrics=args.metrics,
+                        invariants=args.check_invariants,
+                        timeline=want_timeline,
+                        sample_interval=args.sample_interval,
+                        profile=args.profile,
+                        flightrec=args.flightrec),
+        progress=progress)
     t0 = time.time()
     report = run_scenarios(units, options)
     wall = time.time() - t0
@@ -313,10 +360,35 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import summarize
 
         print(summarize(report.merged_obs()))
+    if args.profile and not args.json:
+        from repro.obs import summarize_profile
+
+        print(summarize_profile(report.merged_profile()))
     if args.check_invariants:
         inv_report = report.merged_invariants_report()
         if inv_report:
             print(inv_report)
+    if args.timeline is not None:
+        with open(args.timeline, "w", encoding="utf-8") as fh:
+            json.dump(report.merged_timeline(), fh, indent=2, sort_keys=True)
+    if args.report is not None:
+        from repro.obs import write_report
+
+        doc = {
+            "title": f"repro: {args.experiment}",
+            "sim_version": report.sim_version,
+            "root_seed": report.root_seed,
+            "sections": [{"name": name,
+                          "text": render(report.results[lo:hi])}
+                         for name, lo, hi, render in sections],
+            "obs": report.merged_obs(),
+            "timeline": report.merged_timeline(),
+            "trace_events": report.trace_events(),
+            "bench": report.bench_doc(jobs=args.jobs),
+        }
+        if args.profile:
+            doc["profile"] = report.merged_profile()
+        write_report(doc, args.report)
     if args.trace:
         with open(args.trace, "w", encoding="utf-8") as fh:
             json.dump({"traceEvents": report.trace_events(),

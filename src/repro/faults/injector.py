@@ -12,7 +12,12 @@ nothing.
 Disk crashes additionally notify subscribers (the failure-aware recovery
 engine registers one to escalate affected placement groups mid-run) and
 every applied event lands in the observer as a ``faults.injected`` counter
-and a zero-length span on the runtime's ``faults`` track.
+and a zero-length span on the runtime's ``faults`` track.  When the
+observer carries second-generation telemetry the injector feeds it too —
+duck-typed (``getattr``), so this layer never imports ``repro.obs``: each
+applied event drops a ``fault:<kind>`` mark on the timeline segment, and
+the flight recorder's fault-state summary is refreshed so a postmortem
+bundle shows which disks were down when things went wrong.
 """
 
 from __future__ import annotations
@@ -39,6 +44,10 @@ class FaultInjector:
         self._progress_pending = list(plan.progress_events)
         self._counter = (obs.metrics.counter("faults.injected")
                          if obs is not None else None)
+        self._timeline = getattr(obs, "timeline", None) \
+            if obs is not None else None
+        self._flightrec = getattr(obs, "flightrec", None) \
+            if obs is not None else None
         #: Optional ``(name, start, end, **args)`` span recorder, installed
         #: by the runtime that owns this injector.
         self.span_cb: Callable | None = None
@@ -88,6 +97,13 @@ class FaultInjector:
         if self.span_cb is not None:
             now = self.env.now
             self.span_cb(f"fault:{kind}", now, now, **event.to_doc())
+        if self._timeline is not None:
+            self._timeline.mark(self.env, f"fault:{kind}", **event.to_doc())
+        if self._flightrec is not None:
+            self._flightrec.note_fault_state({
+                "injected": len(self.injected),
+                "failed_disks": sorted(self.failed_disks),
+            })
 
     def _crash_disk(self, disk_id: int) -> None:
         if disk_id in self.failed_disks:

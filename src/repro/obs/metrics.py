@@ -76,7 +76,8 @@ class Gauge:
 
         The window runs from the first sample to the last one (or to
         ``now``, when given and later).  A gauge sampled exactly once
-        reports that sample.
+        reports that sample; a never-sampled gauge reports ``0.0`` —
+        never NaN, so downstream math and JSON stay well-defined.
         """
         if self._t_first is None:
             return 0.0
@@ -135,7 +136,12 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) estimated from the reservoir."""
+        """The ``q``-quantile (0..1) estimated from the reservoir.
+
+        An empty histogram reports ``0.0`` for every quantile — never an
+        IndexError or NaN — so timelines and summaries of metrics that saw
+        no observations render as flat zero series.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if not self._reservoir:
@@ -148,7 +154,7 @@ class Histogram:
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
     def percentiles(self) -> tuple[float, float, float]:
-        """(p50, p95, p99)."""
+        """(p50, p95, p99); ``(0.0, 0.0, 0.0)`` for an empty histogram."""
         return self.quantile(0.50), self.quantile(0.95), self.quantile(0.99)
 
 
@@ -201,7 +207,12 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def summary(self) -> str:
-        """Plain-text report: counters, gauge means, wait percentiles."""
+        """Plain-text report: counters, gauge means, wait percentiles.
+
+        Deterministically sorted by metric key (registry iteration order),
+        so two runs that recorded the same metrics — in any registration
+        order — render byte-identical summaries.
+        """
         counters = [(k, m) for k, m in self if isinstance(m, Counter)]
         gauges = [(k, m) for k, m in self if isinstance(m, Gauge)]
         hists = [(k, m) for k, m in self if isinstance(m, Histogram)]

@@ -33,15 +33,23 @@ class EngineHooks:
 
     When an :class:`~repro.analysis.InvariantChecker` is attached
     (``invariants``), every scheduled event is also checked against the
-    monotonic sim-clock invariant.
+    monotonic sim-clock invariant.  The second-generation telemetry hooks
+    — ``timeline`` (sim-time sampler), ``profiler`` (wall-clock dispatch
+    profiler) and ``flightrec`` (postmortem ring buffer) — all default to
+    ``None``, so an observer without telemetry costs exactly what it did
+    before they existed.
     """
 
-    __slots__ = ("events_scheduled", "process_resumes", "invariants")
+    __slots__ = ("events_scheduled", "process_resumes", "invariants",
+                 "timeline", "profiler", "flightrec")
 
     def __init__(self, metrics: MetricsRegistry):
         self.events_scheduled = metrics.counter("engine.events_scheduled")
         self.process_resumes = metrics.counter("engine.process_resumes")
         self.invariants = None
+        self.timeline = None
+        self.profiler = None
+        self.flightrec = None
 
     def on_schedule(self, when: float, event) -> None:
         """Called whenever the engine enqueues an event."""
@@ -49,12 +57,16 @@ class EngineHooks:
         # event (millions per experiment), so even the Counter.inc call
         # is measurable.
         self.events_scheduled.value += 1
+        if self.flightrec is not None:
+            self.flightrec.on_schedule(when, event)
         if self.invariants is not None:
             self.invariants.on_schedule(when, event)
 
     def on_resume(self, process, trigger) -> None:
         """Called whenever a process coroutine is resumed."""
         self.process_resumes.value += 1
+        if self.profiler is not None:
+            self.profiler.on_resume(process)
 
 
 class Observer:
@@ -64,6 +76,11 @@ class Observer:
     :func:`repro.analysis.attach_invariant_checker`) turns on runtime
     invariant checking in every resource and runtime built under this
     observer; the default ``None`` keeps observability side-effect free.
+    The telemetry attachments — ``timeline``, ``profiler``, ``flightrec``
+    (installed by :func:`repro.obs.attach_timeline` /
+    :func:`repro.obs.attach_profiler` / :func:`repro.obs.attach_flightrec`)
+    — follow the same pattern: ``None`` means off, and instrumented code
+    reaches them with one attribute load plus an ``is not None`` test.
     """
 
     def __init__(self):
@@ -71,6 +88,9 @@ class Observer:
         self.tracer = Tracer()
         self.engine_hooks = EngineHooks(self.metrics)
         self.invariants = None
+        self.timeline = None
+        self.profiler = None
+        self.flightrec = None
 
     def summary(self) -> str:
         """The registry's plain-text metrics report."""

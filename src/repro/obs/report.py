@@ -1,0 +1,475 @@
+"""Self-contained HTML run reports and cross-run diffs.
+
+:func:`render_report` turns one *report document* — a plain JSON-safe dict
+assembled by the experiment CLI (rendered section text, the merged
+observability snapshot, and optionally a timeline doc, a profile doc, a
+bench doc and Chrome trace events) — into a single HTML file with no
+external assets: inline CSS, inline SVG timeline charts, a span
+waterfall, SLO/percentile tables and the profiler flame table.  Open it
+from a CI artifact or ``file://`` and everything renders.
+
+:func:`diff_docs` compares two machine-readable run artifacts — either
+two ``--json`` result documents or two ``--bench-out`` documents — and
+:func:`render_diff` reports per-metric deltas (absolute and relative) per
+experiment row, so "what changed between these two runs" is one HTML
+table instead of a ``jq`` session.
+
+This module lives in the ``obs`` layer and therefore works on plain
+dicts only — it never imports the runner or the experiments; they feed
+it documents.  ``python -m repro.obs.report A.json B.json -o diff.html``
+is the standalone diff entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+from typing import Any, Iterable
+
+#: Line colors for SVG chart series (cycled).
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+            "#8c564b", "#17becf", "#7f7f7f")
+
+#: Rendering caps: a report stays readable (and finite) no matter how
+#: large the run was.  Every cap is annotated in the output.
+MAX_SEGMENTS = 12
+MAX_SERIES_PER_CHART = 8
+MAX_WATERFALL_SPANS = 80
+MAX_TABLE_ROWS = 60
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1a1a2e; padding: 0 1em; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #1a1a2e; }
+h2 { font-size: 1.2em; margin-top: 2em; }
+h3 { font-size: 1em; color: #444; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: right; }
+th { background: #f0f0f5; }
+td.l, th.l { text-align: left; font-family: ui-monospace, monospace; }
+pre { background: #f7f7fa; padding: 0.8em; overflow-x: auto;
+      border: 1px solid #e0e0e8; }
+svg { background: #fcfcfe; border: 1px solid #e0e0e8; margin: 0.4em 0; }
+.meta { color: #666; font-size: 0.9em; }
+.up { color: #b00020; } .down { color: #006400; }
+.note { color: #888; font-size: 0.85em; font-style: italic; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# SVG primitives
+# ----------------------------------------------------------------------
+def _polyline_chart(title: str, t: list[float],
+                    series: list[tuple[str, list[float]]],
+                    marks: list[dict[str, Any]] | None = None,
+                    width: int = 660, height: int = 200) -> str:
+    """One SVG line chart: sim time on x, the series on a shared y scale."""
+    if not t or not series:
+        return ""
+    pad_l, pad_r, pad_t, pad_b = 52, 8, 22, 20
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    t0, t1 = t[0], t[-1]
+    t_span = (t1 - t0) or 1.0
+    lo = min(min(v) for _n, v in series)
+    hi = max(max(v) for _n, v in series)
+    if hi == lo:
+        hi = lo + 1.0
+    y_span = hi - lo
+
+    def sx(x: float) -> float:
+        return pad_l + (x - t0) / t_span * plot_w
+
+    def sy(y: float) -> float:
+        return pad_t + (hi - y) / y_span * plot_h
+
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}" role="img">',
+             f'<text x="{pad_l}" y="14" font-size="12" '
+             f'font-weight="bold">{_esc(title)}</text>']
+    # Frame and y-axis labels.
+    parts.append(f'<rect x="{pad_l}" y="{pad_t}" width="{plot_w}" '
+                 f'height="{plot_h}" fill="none" stroke="#bbb"/>')
+    for frac in (0.0, 0.5, 1.0):
+        y = lo + frac * y_span
+        parts.append(f'<text x="{pad_l - 4}" y="{sy(y) + 4:.1f}" '
+                     f'font-size="10" text-anchor="end">{y:.4g}</text>')
+    for frac in (0.0, 1.0):
+        x = t0 + frac * t_span
+        parts.append(f'<text x="{sx(x):.1f}" y="{height - 6}" font-size="10" '
+                     f'text-anchor="middle">{x:.4g}s</text>')
+    # Fault/incident marks: vertical dashed lines.
+    for mark in (marks or ())[:24]:
+        mx = sx(mark.get("t", t0))
+        parts.append(f'<line x1="{mx:.1f}" y1="{pad_t}" x2="{mx:.1f}" '
+                     f'y2="{pad_t + plot_h}" stroke="#c03" '
+                     'stroke-dasharray="3,3"><title>'
+                     f'{_esc(mark.get("name", "mark"))} @ '
+                     f'{mark.get("t", 0):.4g}s</title></line>')
+    # Series.
+    for i, (name, values) in enumerate(series):
+        color = _PALETTE[i % len(_PALETTE)]
+        points = " ".join(f"{sx(x):.1f},{sy(v):.1f}"
+                          for x, v in zip(t, values))
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5">'
+                     f'<title>{_esc(name)}</title></polyline>')
+        ly = pad_t + 12 + 12 * i
+        if ly < pad_t + plot_h:
+            parts.append(f'<rect x="{pad_l + plot_w - 150}" y="{ly - 8}" '
+                         f'width="9" height="9" fill="{color}"/>')
+            parts.append(f'<text x="{pad_l + plot_w - 138}" y="{ly}" '
+                         f'font-size="10">{_esc(name[:26])}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _waterfall(events: list[dict[str, Any]],
+               width: int = 660, row_h: int = 14) -> str:
+    """Span waterfall from Chrome "X" events: longest spans, by process."""
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        return ""
+    names = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "process_name":
+            names[e.get("pid", 0)] = e.get("args", {}).get("name", "")
+    spans.sort(key=lambda e: (-e.get("dur", 0.0), e.get("ts", 0.0)))
+    spans = spans[:MAX_WATERFALL_SPANS]
+    spans.sort(key=lambda e: (e.get("pid", 0), e.get("ts", 0.0)))
+    t0 = min(e.get("ts", 0.0) for e in spans)
+    t1 = max(e.get("ts", 0.0) + e.get("dur", 0.0) for e in spans)
+    span_t = (t1 - t0) or 1.0
+    pad_l = 4
+    plot_w = width - 2 * pad_l
+    height = row_h * len(spans) + 24
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}" role="img">']
+    last_pid = None
+    for i, e in enumerate(spans):
+        pid = e.get("pid", 0)
+        x = pad_l + (e.get("ts", 0.0) - t0) / span_t * plot_w
+        w = max(1.0, e.get("dur", 0.0) / span_t * plot_w)
+        y = 18 + i * row_h
+        color = _PALETTE[pid % len(_PALETTE)]
+        label = e.get("name", "")
+        if pid != last_pid:
+            last_pid = pid
+            parts.append(f'<text x="{pad_l}" y="{y - 2}" font-size="9" '
+                         f'fill="#888">{_esc(names.get(pid, f"pid {pid}"))}'
+                         "</text>")
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{row_h - 3}" fill="{color}" fill-opacity="0.8">'
+            f'<title>{_esc(label)}: {e.get("dur", 0.0) / 1e6:.6g}s @ '
+            f'{e.get("ts", 0.0) / 1e6:.6g}s</title></rect>')
+        if w > 60:
+            parts.append(f'<text x="{x + 3:.1f}" y="{y + row_h - 5:.1f}" '
+                         f'font-size="9" fill="#fff">{_esc(label[:24])}'
+                         "</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Report assembly
+# ----------------------------------------------------------------------
+_LEFT = ' class="l"'
+
+
+def _table(headers: list[str], rows: Iterable[list[Any]],
+           left_cols: int = 1) -> str:
+    head = "".join(
+        f"<th{_LEFT if i < left_cols else ''}>{_esc(h)}</th>"
+        for i, h in enumerate(headers))
+    body = []
+    for row in rows:
+        cells = "".join(
+            f"<td{_LEFT if i < left_cols else ''}>{_esc(_fmt(cell))}</td>"
+            for i, cell in enumerate(row))
+        body.append(f"<tr>{cells}</tr>")
+    return (f'<table><thead><tr>{head}</tr></thead>'
+            f'<tbody>{"".join(body)}</tbody></table>')
+
+
+def _timeline_section(doc: dict[str, Any]) -> str:
+    segments = doc.get("segments", ())
+    parts = ["<h2>Timelines (sim time)</h2>"]
+    if len(segments) > MAX_SEGMENTS:
+        parts.append(f'<p class="note">showing {MAX_SEGMENTS} of '
+                     f"{len(segments)} segments</p>")
+    for seg in segments[:MAX_SEGMENTS]:
+        t = seg.get("t", [])
+        if not t:
+            continue
+        parts.append(f"<h3>{_esc(seg.get('label', 'run'))} "
+                     f'<span class="meta">(interval '
+                     f"{seg.get('interval', 0):.4g}s, {len(t)} samples, "
+                     f"{len(seg.get('marks', []))} marks)</span></h3>")
+        marks = seg.get("marks", [])
+
+        def top_series(columns: dict[str, list[float]]):
+            ranked = sorted(columns.items(),
+                            key=lambda kv: (-abs(kv[1][-1]), kv[0]))
+            return [(k, v) for k, v in ranked[:MAX_SERIES_PER_CHART]]
+
+        counters = top_series(seg.get("counters", {}))
+        if counters:
+            parts.append(_polyline_chart("counters (cumulative)", t,
+                                         counters, marks))
+        gauges = top_series(seg.get("gauges", {}))
+        if gauges:
+            parts.append(_polyline_chart("gauges (level)", t, gauges, marks))
+        hists = seg.get("histograms", {})
+        p99 = [(k, v["p99"]) for k, v in sorted(hists.items())
+               if v.get("p99")][:MAX_SERIES_PER_CHART]
+        if p99:
+            parts.append(_polyline_chart("histogram p99", t, p99, marks))
+    return "".join(parts)
+
+
+def _slo_section(obs: dict[str, Any]) -> str:
+    parts = ["<h2>Metrics</h2>"]
+    hists = obs.get("histograms", {})
+    if hists:
+        from repro.obs.snapshot import _quantile
+
+        rows = []
+        for key in sorted(hists)[:MAX_TABLE_ROWS]:
+            h = hists[key]
+            res = h.get("reservoir", [])
+            mean = h["total"] / h["count"] if h.get("count") else 0.0
+            rows.append([key, h.get("count", 0), f"{mean:.6g}",
+                         f"{_quantile(res, 0.50):.6g}",
+                         f"{_quantile(res, 0.95):.6g}",
+                         f"{_quantile(res, 0.99):.6g}",
+                         f"{h.get('max', 0.0):.6g}"])
+        parts.append("<h3>Latency / wait percentiles</h3>")
+        parts.append(_table(["histogram", "count", "mean", "p50", "p95",
+                             "p99", "max"], rows))
+    counters = obs.get("counters", {})
+    if counters:
+        parts.append("<h3>Counters</h3>")
+        parts.append(_table(
+            ["counter", "value"],
+            [[k, f"{counters[k]:g}"]
+             for k in sorted(counters)[:MAX_TABLE_ROWS]]))
+    gauges = obs.get("gauges", {})
+    if gauges:
+        parts.append("<h3>Gauges (time-weighted)</h3>")
+        parts.append(_table(
+            ["gauge", "last", "mean", "min", "max"],
+            [[k, f"{g['last']:.6g}", f"{g['mean']:.6g}",
+              f"{g['min']:.6g}", f"{g['max']:.6g}"]
+             for k, g in ((k, gauges[k])
+                          for k in sorted(gauges)[:MAX_TABLE_ROWS])]))
+    return "".join(parts)
+
+
+def _profile_section(doc: dict[str, Any]) -> str:
+    rows = doc.get("sites", ())[:MAX_TABLE_ROWS]
+    if not rows:
+        return ""
+    attributed = doc.get("attributed_wall_s", 0.0) or 0.0
+    parts = ["<h2>Profile (wall clock)</h2>",
+             f'<p class="meta">total {doc.get("total_wall_s", 0.0):.3f}s, '
+             f"attributed {attributed:.3f}s</p>"]
+    parts.append(_table(
+        ["process site", "wall s", "share", "resumes"],
+        [[r["site"], f"{r['wall_s']:.4f}",
+          f"{(r['wall_s'] / attributed if attributed else 0.0):.1%}",
+          r["resumes"]] for r in rows]))
+    return "".join(parts)
+
+
+def _bench_section(doc: dict[str, Any]) -> str:
+    totals = doc.get("totals")
+    if not totals:
+        return ""
+    parts = ["<h2>Execution</h2>"]
+    parts.append(_table(
+        ["units", "misses", "hits", "dedups", "hit rate", "wall s",
+         "sim time s"],
+        [[totals.get("units", 0), totals.get("misses", 0),
+          totals.get("hits", 0), totals.get("dedups", 0),
+          f"{totals.get('hit_rate', 0.0):.2f}",
+          f"{totals.get('wall_s', 0.0):.2f}",
+          f"{totals.get('sim_time_s', 0.0):.2f}"]], left_cols=0))
+    return "".join(parts)
+
+
+def render_report(doc: dict[str, Any]) -> str:
+    """One report document -> a self-contained HTML page."""
+    title = doc.get("title", "repro run report")
+    parts = ["<!doctype html><html><head><meta charset='utf-8'>",
+             f"<title>{_esc(title)}</title><style>{_CSS}</style></head>",
+             f"<body><h1>{_esc(title)}</h1>",
+             f'<p class="meta">sim version {_esc(doc.get("sim_version", "?"))}'
+             f' &middot; root seed {_esc(doc.get("root_seed", "?"))}</p>']
+    for section in doc.get("sections", ()):
+        parts.append(f"<h2>{_esc(section.get('name', ''))}</h2>")
+        parts.append(f"<pre>{_esc(section.get('text', ''))}</pre>")
+    timeline = doc.get("timeline")
+    if timeline and timeline.get("segments"):
+        parts.append(_timeline_section(timeline))
+    events = doc.get("trace_events")
+    if events:
+        parts.append("<h2>Span waterfall (longest spans)</h2>")
+        parts.append(_waterfall(events))
+    obs = doc.get("obs")
+    if obs:
+        parts.append(_slo_section(obs))
+    profile = doc.get("profile")
+    if profile:
+        parts.append(_profile_section(profile))
+    bench = doc.get("bench")
+    if bench:
+        parts.append(_bench_section(bench))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report(doc: dict[str, Any], path: str) -> str:
+    """Render and write the report; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_report(doc))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Cross-run diff
+# ----------------------------------------------------------------------
+def _rows_by_unit(doc: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """Flatten a ``--json`` results doc into name -> averaged numeric row."""
+    out: dict[str, dict[str, Any]] = {}
+    for exp, results in doc.get("experiments", {}).items():
+        for result in results:
+            merged: dict[str, Any] = {}
+            rows = result.get("rows", [])
+            for row in rows:
+                for key, value in row.items():
+                    if isinstance(value, bool) or not isinstance(
+                            value, (int, float)):
+                        continue
+                    merged[key] = merged.get(key, 0.0) + value / len(rows)
+            out[result.get("name", exp)] = merged
+    return out
+
+
+def _bench_by_unit(doc: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    return {u["name"]: {"wall_s": u.get("wall_s", 0.0)}
+            for u in doc.get("units", ())}
+
+
+def diff_docs(doc_a: dict[str, Any],
+              doc_b: dict[str, Any]) -> list[dict[str, Any]]:
+    """Per-metric deltas between two result or bench JSON documents.
+
+    Returns a flat list of ``{unit, metric, a, b, delta, ratio}`` records,
+    one per numeric metric present in either run (missing side -> None),
+    sorted by |relative change| descending so the biggest movement leads.
+    """
+    if "experiments" in doc_a or "experiments" in doc_b:
+        units_a, units_b = _rows_by_unit(doc_a), _rows_by_unit(doc_b)
+    else:
+        units_a, units_b = _bench_by_unit(doc_a), _bench_by_unit(doc_b)
+    records: list[dict[str, Any]] = []
+    for unit in sorted(set(units_a) | set(units_b)):
+        row_a = units_a.get(unit, {})
+        row_b = units_b.get(unit, {})
+        for metric in sorted(set(row_a) | set(row_b)):
+            a = row_a.get(metric)
+            b = row_b.get(metric)
+            delta = (b - a) if (a is not None and b is not None) else None
+            ratio = (b / a) if (a not in (None, 0) and b is not None) else None
+            records.append({"unit": unit, "metric": metric, "a": a, "b": b,
+                            "delta": delta, "ratio": ratio})
+    records.sort(key=lambda r: (-(abs(r["ratio"] - 1.0)
+                                  if r["ratio"] is not None else float("inf")),
+                                r["unit"], r["metric"]))
+    return records
+
+
+def render_diff(doc_a: dict[str, Any], doc_b: dict[str, Any],
+                label_a: str = "A", label_b: str = "B") -> str:
+    """Two run documents -> a self-contained HTML diff page."""
+    records = diff_docs(doc_a, doc_b)
+    changed = [r for r in records if r["delta"] is None or r["delta"] != 0]
+    rows = []
+    for r in changed[:400]:
+        if r["ratio"] is not None:
+            pct = r["ratio"] - 1.0
+            cls = "up" if pct > 0 else "down"
+            rel = f'<span class="{cls}">{pct:+.2%}</span>'
+        else:
+            rel = "&mdash;"
+        rows.append([r["unit"], r["metric"],
+                     "&mdash;" if r["a"] is None else f"{r['a']:.6g}",
+                     "&mdash;" if r["b"] is None else f"{r['b']:.6g}",
+                     "&mdash;" if r["delta"] is None else f"{r['delta']:+.6g}",
+                     rel])
+    # The delta/rel cells carry markup, so this table is built by hand
+    # rather than through _table (which escapes every cell).
+    head = "".join(f"<th{_LEFT if i < 2 else ''}>{_esc(h)}</th>"
+                   for i, h in enumerate(
+                       ["unit", "metric", label_a, label_b, "delta", "rel"]))
+    trs = []
+    for row in rows:
+        tds = (f'<td class="l">{_esc(row[0])}</td>'
+               f'<td class="l">{_esc(row[1])}</td>'
+               + "".join(f"<td>{cell}</td>" for cell in row[2:]))
+        trs.append(f"<tr>{tds}</tr>")
+    body = (f'<table><thead><tr>{head}</tr></thead>'
+            f'<tbody>{"".join(trs)}</tbody></table>'
+            if rows else "<p>No numeric differences.</p>")
+    identical = len(changed) == 0
+    return ("<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>run diff</title><style>{_CSS}</style></head><body>"
+            f"<h1>Run diff: {_esc(label_a)} vs {_esc(label_b)}</h1>"
+            f'<p class="meta">{len(records)} metrics compared, '
+            f"{len(changed)} changed"
+            f"{' — runs are numerically identical' if identical else ''}</p>"
+            f"{body}</body></html>")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render an HTML run report, or diff two run JSON docs.")
+    parser.add_argument("doc", help="result/bench JSON document")
+    parser.add_argument("other", nargs="?", default=None,
+                        help="second document: renders a cross-run diff")
+    parser.add_argument("-o", "--out", default="report.html",
+                        help="output HTML path (default report.html)")
+    args = parser.parse_args(argv)
+    with open(args.doc, encoding="utf-8") as fh:
+        doc_a = json.load(fh)
+    if args.other is None:
+        page = render_report(doc_a if "sections" in doc_a
+                             else {"title": args.doc, "obs": doc_a.get("obs"),
+                                   "bench": doc_a})
+    else:
+        with open(args.other, encoding="utf-8") as fh:
+            doc_b = json.load(fh)
+        page = render_diff(doc_a, doc_b, label_a=args.doc,
+                           label_b=args.other)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,15 @@ def snapshot(obs: Observer, include_trace: bool = False) -> dict[str, Any]:
     }
     if include_trace:
         snap["trace_events"] = chrome_trace_events(obs.tracer)
+    # Optional telemetry rides along only when armed: the keys are absent
+    # otherwise, so default snapshots stay byte-identical with telemetry
+    # code merely present.
+    timeline = getattr(obs, "timeline", None)
+    if timeline is not None:
+        snap["timeline"] = timeline.timeline_doc()
+    profiler = getattr(obs, "profiler", None)
+    if profiler is not None:
+        snap["profile"] = profiler.profile_doc()
     return snap
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
@@ -42,16 +42,28 @@ from repro.runner.scenario import Scenario
 
 @dataclass(frozen=True)
 class Capture:
-    """Which observability payloads units must produce and ship back."""
+    """Which observability payloads units must produce and ship back.
+
+    ``timeline`` samples the metric registry on a sim-time grid
+    (``sample_interval`` sim seconds; ``None`` auto-scales), ``profile``
+    attributes wall time per process site, and ``flightrec`` (a directory
+    path) arms a flight recorder that dumps a postmortem bundle there when
+    a unit's compute raises or accumulates incidents.
+    """
 
     trace: bool = False
     metrics: bool = False
     invariants: bool = False
+    timeline: bool = False
+    sample_interval: float | None = None
+    profile: bool = False
+    flightrec: str | None = None
 
     @property
     def needs_live_run(self) -> bool:
         """Capture modes that cannot be served from the cache."""
-        return self.trace or self.invariants
+        return (self.trace or self.invariants or self.timeline
+                or self.profile or self.flightrec is not None)
 
 
 @dataclass(frozen=True)
@@ -63,6 +75,10 @@ class RunOptions:
     cache: bool = True
     cache_dir: str | Path | None = None
     capture: Capture = field(default_factory=Capture)
+    #: Optional ``(done, total, status, name)`` callback, invoked in
+    #: completion order as units finish (hits and dedups included).  Purely
+    #: cosmetic — results stay input-ordered regardless.
+    progress: Any = None
 
 
 @dataclass
@@ -110,6 +126,20 @@ class RunReport:
 
         return merge_trace_events(
             [r.obs.get("trace_events", []) for r in self.results if r.obs])
+
+    def merged_timeline(self) -> dict[str, Any]:
+        """All units' timeline docs, segment-concatenated in unit order."""
+        from repro.obs import merge_timelines
+
+        return merge_timelines(
+            [(r.obs or {}).get("timeline") for r in self.results])
+
+    def merged_profile(self) -> dict[str, Any]:
+        """All units' wall-clock profiles, summed by process site."""
+        from repro.obs import merge_profiles
+
+        return merge_profiles(
+            [(r.obs or {}).get("profile") for r in self.results])
 
     def merged_invariants_report(self) -> str | None:
         """Aggregated invariant-checker summary, if any unit was checked."""
@@ -167,6 +197,11 @@ class RunReport:
             doc["groups"] = {
                 name: self._group_doc(self.outcomes[lo:hi])
                 for name, lo, hi in groups}
+        profile = self.merged_profile()
+        if profile["sites"]:
+            from repro.obs import profile_bench_section
+
+            doc["profile"] = profile_bench_section(profile)
         return doc
 
     @staticmethod
@@ -220,7 +255,38 @@ def execute_unit(scenario: Scenario, seed: int | None, capture: Capture,
             from repro.analysis import attach_invariant_checker
 
             checker = attach_invariant_checker(obs)
-        payload = fn(**kwargs)
+        if capture.timeline:
+            from repro.obs import attach_timeline
+
+            attach_timeline(obs, capture.sample_interval)
+        if capture.profile:
+            from repro.obs import attach_profiler
+
+            attach_profiler(obs)
+        recorder = None
+        if capture.flightrec is not None:
+            from repro.obs import attach_flightrec
+
+            recorder = attach_flightrec(obs)
+            recorder.provenance = {
+                "scenario": scenario.name,
+                "scenario_hash": scenario.content_hash(),
+                "fn": scenario.fn,
+                "seed": seed,
+                "root_seed": root_seed if scenario.seeded else None,
+                "sim_version": version,
+            }
+        try:
+            payload = fn(**kwargs)
+        except Exception as exc:
+            if recorder is not None:
+                recorder.incident("compute_exception", error=repr(exc))
+                recorder.dump_to(capture.flightrec, scenario.name, obs=obs)
+            raise
+        if recorder is not None and recorder.incidents:
+            # Non-fatal incidents (e.g. an abandoned repair ladder) still
+            # deserve a postmortem bundle.
+            recorder.dump_to(capture.flightrec, scenario.name, obs=obs)
         snap = obs_snapshot(obs, include_trace=capture.trace)
         if checker is not None:
             snap["invariants"] = {"stats": dict(checker.stats),
@@ -275,6 +341,14 @@ def run_scenarios(scenarios: list[Scenario],
     dedups: list[tuple[int, int]] = []  # (unit index, index it shares)
     to_run: list[int] = []
 
+    done = 0
+
+    def note(status: str, name: str) -> None:
+        nonlocal done
+        done += 1
+        if options.progress is not None:
+            options.progress(done, n, status, name)
+
     for i, (unit, seed) in enumerate(zip(scenarios, seeds)):
         key = (unit.content_hash(), seed)
         prior = first_of.get(key)
@@ -291,8 +365,15 @@ def run_scenarios(scenarios: list[Scenario],
                     name=unit.name, scenario_hash=key[0], seed=seed,
                     status="hit", wall_s=time.perf_counter() - t0,
                     sim_time_s=(hit.obs or {}).get("sim_time_s"))
+                note("hit", unit.name)
                 continue
         to_run.append(i)
+
+    #: Per-run payloads never stored in the cache: bulky (trace events),
+    #: only meaningful for the run that asked (timeline), or outright
+    #: nondeterministic (profile).  A cached row must stay byte-identical
+    #: to a freshly computed plain row.
+    _uncacheable = ("trace_events", "timeline", "profile")
 
     def record_miss(i: int, result: ExperimentResult, wall: float) -> None:
         results[i] = result
@@ -304,22 +385,23 @@ def run_scenarios(scenarios: list[Scenario],
             # Strip bulky per-run payloads; keep the deterministic summary
             # so warm hits still report sim-time and merge into --metrics.
             stored = result
-            if result.obs and "trace_events" in result.obs:
+            if result.obs and any(k in result.obs for k in _uncacheable):
                 slim = {k: v for k, v in result.obs.items()
-                        if k != "trace_events"}
+                        if k not in _uncacheable}
                 stored = replace(result, obs=slim)
             cache.store(scenarios[i], seeds[i], stored)
+        note("miss", result.name)
 
     if len(to_run) > 1 and options.jobs > 1:
         workers = min(options.jobs, len(to_run))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (i, pool.submit(_timed_execute, scenarios[i], seeds[i],
-                                capture, options.seed, version))
-                for i in to_run]
-            for i, future in futures:
+            futures = {
+                pool.submit(_timed_execute, scenarios[i], seeds[i],
+                            capture, options.seed, version): i
+                for i in to_run}
+            for future in as_completed(futures):
                 result, wall = future.result()
-                record_miss(i, result, wall)
+                record_miss(futures[future], result, wall)
     else:
         for i in to_run:
             result, wall = _timed_execute(scenarios[i], seeds[i], capture,
@@ -334,6 +416,7 @@ def run_scenarios(scenarios: list[Scenario],
             name=scenarios[i].name, scenario_hash=shared.provenance.scenario_hash,
             seed=seeds[i], status="dedup", wall_s=0.0,
             sim_time_s=(shared.obs or {}).get("sim_time_s"))
+        note("dedup", scenarios[i].name)
 
     return RunReport(results=results, outcomes=outcomes,  # type: ignore[arg-type]
                      root_seed=options.seed, sim_version=version)

@@ -310,7 +310,7 @@ class Environment:
     """
 
     __slots__ = ("now", "trace_hooks", "_queue", "_ready", "_seq",
-                 "_processes", "_on_schedule")
+                 "_processes", "_on_schedule", "_on_advance")
 
     def __init__(self, trace_hooks=None):
         self.now: float = 0.0
@@ -321,6 +321,15 @@ class Environment:
         self._processes: list[Process] = []
         self._on_schedule = (trace_hooks.on_schedule
                              if trace_hooks is not None else None)
+        # Clock-advance hook: a sim-time sampler (repro.obs.timeline) binds
+        # a per-environment cursor here.  Duck-typed so the engine never
+        # imports the obs layer; the untimed hot path pays one `is not
+        # None` test per forward clock move.
+        self._on_advance = None
+        if trace_hooks is not None:
+            timeline = getattr(trace_hooks, "timeline", None)
+            if timeline is not None:
+                self._on_advance = timeline.bind(self)
 
     # ------------------------------------------------------------------
     # Scheduling internals
@@ -410,7 +419,15 @@ class Environment:
                 raise SimulationError(
                     f"sim clock would run backwards: event at t={when!r} "
                     f"popped at t={self.now!r}")
-            self.now = when
+            if when > self.now:
+                # The clock only moves here, so a timeline sampler sees
+                # every forward advance exactly once, *before* the events
+                # at the new time run — it reads registry state as of the
+                # interval just closed, and schedules nothing itself.
+                advance = self._on_advance
+                if advance is not None:
+                    advance(when)
+                self.now = when
             callbacks = event.callbacks
             if callbacks:
                 event.callbacks = []

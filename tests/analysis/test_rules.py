@@ -181,6 +181,35 @@ def test_flt501_scoped_to_fault_injectable_layers():
 
 
 # ----------------------------------------------------------------------
+# OBS6xx: telemetry hot paths
+# ----------------------------------------------------------------------
+def test_obs601_hot_loop_registry_lookup():
+    source, violations = lint_fixture("obs601", layer="cluster",
+                                      select=["OBS601"])
+    # The two in-loop registry lookups are flagged; the hoisted-handle,
+    # non-generator, tracer-receiver, before-loop and suppressed variants
+    # all stay clean.
+    expected = (lines_containing(source, 'counter("tasks.done")')[:1]
+                + lines_containing(source, 'histogram("drain.latency")'))
+    assert flagged_lines(violations, "OBS601") == sorted(expected)
+    assert all("hoist the handle" in v.message for v in violations)
+
+
+def test_obs601_scoped_to_engine_layers():
+    source = (FIXTURES / "obs601.py").read_text(encoding="utf-8")
+    assert lint_source(source, "src/repro/sim/obs601.py",
+                       select=["OBS601"]) != []
+    assert lint_source(source, "src/repro/faults/obs601.py",
+                       select=["OBS601"]) != []
+    # The obs layer itself (and e.g. the runner) may look metrics up
+    # wherever it wants — there is no engine hot loop there.
+    assert lint_source(source, "src/repro/obs/obs601.py",
+                       select=["OBS601"]) == []
+    assert lint_source(source, "src/repro/runner/obs601.py",
+                       select=["OBS601"]) == []
+
+
+# ----------------------------------------------------------------------
 # Driver machinery
 # ----------------------------------------------------------------------
 def test_file_wide_suppression():

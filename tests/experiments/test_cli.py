@@ -115,6 +115,63 @@ def test_cli_bench_out_accounts_units(tmp_path, capsys):
         assert unit["sim_time_s"] > 0
 
 
+def test_cli_timeline_flag_writes_merged_doc(tmp_path, capsys):
+    out = tmp_path / "tl.json"
+    assert main(["fig13", "--n-objects", "100", "--no-cache",
+                 "--timeline", str(out)]) == 0
+    capsys.readouterr()
+    doc = json.loads(out.read_text(encoding="utf-8"))
+    assert doc["schema"] == "repro.timeline/1"
+    assert len(doc["segments"]) == 3  # one per bandwidth unit
+    for seg in doc["segments"]:
+        assert seg["t"]
+        assert "degraded.reads_completed" in seg["counters"]
+        assert "engine.events_scheduled" in seg["counters"]
+
+
+def test_cli_timeline_does_not_change_json_rows(tmp_path, capsys):
+    """Telemetry may add counters to the obs snapshot, but the simulated
+    rows — the science — must be untouched by observation."""
+    args = ["fig13", "--n-objects", "100", "--json", "--no-cache"]
+    assert main(args) == 0
+    plain = json.loads(capsys.readouterr().out)
+    assert main(args + ["--timeline", str(tmp_path / "tl.json")]) == 0
+    with_timeline = json.loads(capsys.readouterr().out)
+
+    def rows(doc):
+        return [(r["name"], r["rows"]) for r in doc["experiments"]["fig13"]]
+
+    assert rows(plain) == rows(with_timeline)
+
+
+def test_cli_profile_prints_flame_table(tmp_path, capsys):
+    assert main(["fig13", "--n-objects", "100", "--no-cache",
+                 "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "== profile (wall clock, per process site) ==" in out
+    assert "rcstor.py:" in out
+
+
+def test_cli_report_writes_self_contained_html(tmp_path, capsys):
+    report = tmp_path / "run.html"
+    assert main(["fig13", "--n-objects", "100", "--no-cache",
+                 "--report", str(report)]) == 0
+    capsys.readouterr()
+    page = report.read_text(encoding="utf-8")
+    assert page.startswith("<!doctype html>")
+    assert "<script" not in page
+    assert "<svg" in page
+    assert "fig13" in page
+
+
+def test_cli_flightrec_dir_stays_empty_on_clean_run(tmp_path, capsys):
+    out = tmp_path / "fr"
+    assert main(["fig13", "--n-objects", "100", "--no-cache",
+                 "--flightrec", str(out)]) == 0
+    capsys.readouterr()
+    assert not out.exists() or not list(out.glob("*"))
+
+
 def test_cli_zero_n_objects_is_not_treated_as_unset(tmp_path, capsys):
     """Falsy values must win over defaults (`is None` semantics): 0 objects
     is an explicit scale, not a request for the per-experiment default."""

@@ -80,6 +80,29 @@ def test_histogram_quantile_validation():
     assert h.quantile(0.5) == 0.0  # empty histogram
 
 
+def test_empty_histogram_every_readout_is_zero():
+    # Empty-data contract: 0.0 everywhere, never NaN or IndexError.
+    h = Histogram("wait")
+    assert h.percentiles() == (0.0, 0.0, 0.0)
+    assert h.quantile(0.0) == 0.0 and h.quantile(1.0) == 0.0
+    assert h.mean == 0.0
+
+
+def test_summary_deterministically_sorted():
+    def build(keys):
+        reg = MetricsRegistry()
+        for key in keys:
+            reg.counter(key).inc()
+        reg.gauge("g.depth").set(2, now=1.0)
+        reg.histogram("h.wait").observe(0.5)
+        return reg.summary()
+
+    a = build(["z.last", "a.first", "m.mid"])
+    b = build(["m.mid", "z.last", "a.first"])
+    assert a == b  # registration order is invisible
+    assert a.index("a.first") < a.index("m.mid") < a.index("z.last")
+
+
 def test_registry_creates_and_reuses():
     reg = MetricsRegistry()
     a = reg.counter("reads", disk=3)

@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.obs import Observer, Tracer, chrome_trace, observed, write_chrome_trace
+from repro.obs import (
+    Observer,
+    Tracer,
+    chrome_trace,
+    chrome_trace_events,
+    observed,
+    write_chrome_trace,
+)
 from repro.obs.observer import get_default_observer, set_default_observer
 
 
@@ -78,6 +85,74 @@ def test_write_chrome_trace_roundtrip(tmp_path):
     loaded = json.loads(out.read_text())
     assert isinstance(loaded["traceEvents"], list)
     assert any(e.get("ph") == "X" for e in loaded["traceEvents"])
+
+
+def test_chrome_trace_of_empty_tracer():
+    # No processes, tracks or spans: a valid, empty-but-loadable document.
+    doc = chrome_trace(Tracer())
+    assert doc["traceEvents"] == []
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_unclosed_span_handle_is_not_exported():
+    t = Tracer()
+    pid = t.process("run")
+    tid = t.track(pid, "t")
+    handle = t.begin("open", pid, tid, 1.0)
+    t.complete("closed", pid, tid, 0.0, 0.5)
+    # The open handle never called .end(): it must not leak into the
+    # span list or the export.
+    assert len(t) == 1
+    events = chrome_trace_events(t)
+    assert [e["name"] for e in events if e["ph"] == "X"] == ["closed"]
+    # Closing it afterwards records it with the handle's stored start.
+    span = handle.end(2.0, reason="late")
+    assert span.start == 1.0 and span.duration == 1.0
+    assert span.args == {"reason": "late"}
+    assert len(t) == 2
+
+
+def test_nested_same_track_spans_roundtrip(tmp_path):
+    # Nesting is by time containment on one track; Perfetto renders the
+    # inner "X" event inside the outer one.  The export must preserve the
+    # exact containment after a JSON round-trip.
+    t = Tracer()
+    pid = t.process("run")
+    tid = t.track(pid, "repair")
+    t.complete("outer", pid, tid, 0.0, 10.0)
+    t.complete("inner", pid, tid, 2.0, 4.0)
+    out = tmp_path / "nested.json"
+    assert write_chrome_trace(t, str(out)) == 2
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    spans = {e["name"]: e for e in loaded["traceEvents"]
+             if e["ph"] == "X"}
+    outer, inner = spans["outer"], spans["inner"]
+    assert outer["pid"] == inner["pid"] and outer["tid"] == inner["tid"]
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+
+def test_write_chrome_trace_is_perfetto_loadable(tmp_path):
+    # The minimal contract the Perfetto JSON importer requires: a
+    # traceEvents list whose entries carry ph/pid/tid, numeric ts/dur on
+    # "X" events, and name metadata args on "M" events.
+    t = Tracer()
+    pid = t.process("Geo-4M/degraded")
+    t.complete("read", pid, t.track(pid, "client"), 0.0, 0.125, nbytes=4096)
+    t.counter(pid, "depth", 0.1, 2)
+    out = tmp_path / "trace.json"
+    write_chrome_trace(t, str(out))
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert set(loaded) == {"traceEvents", "displayTimeUnit"}
+    for event in loaded["traceEvents"]:
+        assert event["ph"] in {"M", "X", "C"}
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float) and event["dur"] >= 0
+        if event["ph"] == "M":
+            assert event["name"].endswith(("_name", "_sort_index"))
+            assert "args" in event
 
 
 def test_default_observer_context():

@@ -114,6 +114,122 @@ def test_bench_doc_accounts_every_unit(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Telemetry captures: timelines, profiles, flight recorder
+# ----------------------------------------------------------------------
+def test_timeline_capture_ships_segments_and_merges(tmp_path):
+    units = [scenario(computes.sim_ticks, name="t/a", n=8),
+             scenario(computes.sim_ticks, name="t/b", n=12)]
+    report = run_scenarios(units, _options(
+        tmp_path, capture=Capture(timeline=True, sample_interval=1.0)))
+    for result in report.results:
+        assert result.obs["timeline"]["segments"]
+    merged = report.merged_timeline()
+    assert [seg["label"] for seg in merged["segments"]] == \
+        [f"sim-ticks/{units[0].derive_seed(0)}",
+         f"sim-ticks/{units[1].derive_seed(0)}"]
+    assert merged["segments"][0]["counters"]["ticks.done"][-1] > 0
+
+
+def test_timeline_merge_identical_for_any_jobs(tmp_path):
+    units = [scenario(computes.sim_ticks, name=f"t/{i}", n=8 + i)
+             for i in range(4)]
+    capture = Capture(timeline=True, sample_interval=0.5)
+    serial = run_scenarios(units, RunOptions(jobs=1, cache=False,
+                                             capture=capture))
+    parallel = run_scenarios(units, RunOptions(jobs=4, cache=False,
+                                               capture=capture))
+    assert serial.merged_timeline() == parallel.merged_timeline()
+
+
+def test_timeline_and_profile_never_poison_the_cache(tmp_path):
+    units = [scenario(computes.sim_ticks, name="t/a", n=8)]
+    plain_opts = _options(tmp_path)
+    baseline = run_scenarios(units, plain_opts)
+    # A telemetry run in between must not alter what a later plain warm
+    # run returns — cached rows stay byte-identical.
+    live = run_scenarios(units, _options(
+        tmp_path, capture=Capture(timeline=True, profile=True)))
+    assert [o.status for o in live.outcomes] == ["miss"]
+    assert "timeline" in live.results[0].obs
+    assert "profile" in live.results[0].obs
+    warm = run_scenarios(units, plain_opts)
+    assert [o.status for o in warm.outcomes] == ["hit"]
+    assert warm.results[0].to_doc() == baseline.results[0].to_doc()
+    assert "timeline" not in warm.results[0].obs
+    entry, = tmp_path.rglob("*.json")
+    stored = json.loads(entry.read_text(encoding="utf-8"))
+    stored_obs = stored["result"].get("obs") or {}
+    assert "timeline" not in stored_obs and "profile" not in stored_obs
+
+
+def test_profile_capture_feeds_bench_doc(tmp_path):
+    units = [scenario(computes.sim_ticks, name="t/a", n=8)]
+    report = run_scenarios(units, _options(
+        tmp_path, capture=Capture(profile=True)))
+    merged = report.merged_profile()
+    assert any(row["site"].startswith("worker (")
+               for row in merged["sites"])
+    bench = report.bench_doc(jobs=1)
+    assert bench["profile"]["hottest"]
+    # Without profiling there is no profile section at all.
+    plain = run_scenarios(units, _options(tmp_path, cache=False))
+    assert "profile" not in plain.bench_doc(jobs=1)
+
+
+def test_flightrec_dumps_bundle_when_compute_raises(tmp_path):
+    out = tmp_path / "postmortems"
+    units = [scenario(computes.explodes, name="boom/unit")]
+    with pytest.raises(RuntimeError, match="boom"):
+        run_scenarios(units, RunOptions(
+            cache=False, capture=Capture(flightrec=str(out))))
+    bundle_path, = out.glob("*.flightrec.json")
+    bundle = json.loads(bundle_path.read_text(encoding="utf-8"))
+    assert bundle["incidents"][0]["kind"] == "compute_exception"
+    assert "boom at t=1.5" in bundle["incidents"][0]["error"]
+    assert bundle["provenance"]["scenario"] == "boom/unit"
+    assert bundle["events_seen"] >= 2  # the doomed process's two timeouts
+    assert "metrics" in bundle
+
+
+def test_flightrec_dumps_bundle_on_forced_invariant_failure(tmp_path):
+    from repro.analysis import InvariantViolation
+
+    out = tmp_path / "postmortems"
+    units = [scenario(computes.violates_invariant, name="inv/unit")]
+    with pytest.raises(InvariantViolation, match="conservation"):
+        run_scenarios(units, RunOptions(
+            cache=False,
+            capture=Capture(invariants=True, flightrec=str(out))))
+    bundle_path, = out.glob("*.flightrec.json")
+    bundle = json.loads(bundle_path.read_text(encoding="utf-8"))
+    assert bundle["incidents"][0]["kind"] == "compute_exception"
+    assert "conservation" in bundle["incidents"][0]["error"]
+
+
+def test_flightrec_quiet_run_writes_no_bundle(tmp_path):
+    out = tmp_path / "postmortems"
+    units = [scenario(computes.sim_ticks, name="ok/unit", n=4)]
+    run_scenarios(units, RunOptions(
+        cache=False, capture=Capture(flightrec=str(out))))
+    assert not out.exists() or not list(out.glob("*"))
+
+
+def test_progress_callback_sees_every_unit(tmp_path):
+    events = []
+    units = [scenario(computes.toy, name="a", x=21),
+             scenario(computes.toy, name="b", x=21),   # dedup of a
+             scenario(computes.toy, name="c", x=22)]
+    run_scenarios(units, _options(tmp_path))  # warm the cache for c... no-op
+    run_scenarios(units, _options(
+        tmp_path, progress=lambda done, total, status, name:
+        events.append((done, total, status, name))))
+    assert [e[0] for e in events] == [1, 2, 3]
+    assert all(e[1] == 3 for e in events)
+    statuses = sorted(e[2] for e in events)
+    assert statuses == ["dedup", "hit", "hit"]
+
+
+# ----------------------------------------------------------------------
 # The headline invariant: parallel == serial, bit for bit, on real DES
 # experiments (two different ones, per the acceptance criteria).
 # ----------------------------------------------------------------------
