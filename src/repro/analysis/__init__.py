@@ -1,15 +1,25 @@
 """simlint: DES-aware static analysis + runtime invariants for this repo.
 
-The package has two halves:
+The package has three halves:
 
-* **Static analysis** (``python -m repro.analysis src/``): an AST-based
-  linter whose rules encode the properties the discrete-event simulator and
-  the codec stack rely on but ordinary tests do not guard — determinism
-  (no wall clock, no unseeded RNG, no iteration over unordered sets that
-  feeds event scheduling), process-generator hygiene, resource
+* **Per-file static analysis** (``python -m repro.analysis src/``): an
+  AST-based linter whose rules encode the properties the discrete-event
+  simulator and the codec stack rely on but ordinary tests do not guard —
+  determinism (no wall clock, no unseeded RNG, no iteration over unordered
+  sets that feeds event scheduling), process-generator hygiene, resource
   acquire/release pairing by CFG walk, and import layering.  Rules are
   suppressible per line with ``# simlint: disable=RULE`` and some are
   autofixable (``--fix``).
+
+* **Whole-program analysis** (``--whole-program``): a project symbol
+  table and call graph (:mod:`repro.analysis.callgraph`) feeding three
+  interprocedural passes — determinism taint with function summaries
+  (:mod:`repro.analysis.taint`), cooperative-process race detection over
+  yield intervals (:mod:`repro.analysis.races`) and grant-escape
+  summaries that lift the resource rules across helper calls
+  (:mod:`repro.analysis.summaries`).  The driver
+  (:mod:`repro.analysis.wholeprogram`) adds a content-hash incremental
+  cache, a baseline workflow, and SARIF / GitHub-annotation output.
 
 * **Runtime invariants** (:mod:`repro.analysis.invariants`): an opt-in
   :class:`InvariantChecker` hooked through the :mod:`repro.obs` observer —
@@ -46,4 +56,12 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "run_whole_program",
 ]
+
+
+def run_whole_program(paths, **kwargs):
+    """Convenience re-export; see :mod:`repro.analysis.wholeprogram`."""
+    from repro.analysis.wholeprogram import run_whole_program as _run
+
+    return _run(paths, **kwargs)

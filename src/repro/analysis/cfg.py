@@ -94,11 +94,19 @@ def _names_in(node: ast.AST, name: str) -> bool:
 
 
 class _Walker:
-    """Walks one function body tracking one acquire site."""
+    """Walks one function body tracking one acquire site.
 
-    def __init__(self, site: AcquireSite, fn: ast.FunctionDef):
+    ``escape_oracle(call, var)`` — when provided — decides whether passing
+    the tracked request to that call transfers ownership (``True``, the
+    intraprocedural default) or leaves this function responsible
+    (``False``: the resolved callee neither releases nor re-escapes it).
+    """
+
+    def __init__(self, site: AcquireSite, fn: ast.FunctionDef,
+                 escape_oracle=None):
         self.site = site
         self.fn = fn
+        self.escape_oracle = escape_oracle
         self.finding = LeakFinding(site)
         self._loop_breaks: list[set[str]] = []
 
@@ -157,7 +165,9 @@ class _Walker:
 
         if isinstance(stmt, (ast.Break, ast.Continue)):
             if self._loop_breaks:
-                self._loop_breaks[-1] |= states
+                # A releasing finally enclosing this statement runs before
+                # control transfers, so the grant is not carried along.
+                self._loop_breaks[-1] |= {CLOSED} if protected else states
             return set()
 
         if isinstance(stmt, ast.If):
@@ -298,7 +308,9 @@ class _Walker:
             if isinstance(node, ast.Call) and not self._is_release_call(node):
                 for arg in list(node.args) + [kw.value for kw in node.keywords]:
                     if isinstance(arg, ast.Name) and arg.id == var:
-                        return True
+                        if self.escape_oracle is None \
+                                or self.escape_oracle(node, var):
+                            return True
             if isinstance(node, ast.Assign):
                 if isinstance(node.value, ast.Name) and node.value.id == var:
                     return True  # aliased
@@ -313,11 +325,144 @@ class _Walker:
         return False
 
 
-def analyse_function(fn: ast.FunctionDef) -> list[LeakFinding]:
+def analyse_function(fn: ast.FunctionDef,
+                     escape_oracle=None) -> list[LeakFinding]:
     """Run the acquire/release analysis on every acquire site of ``fn``."""
     findings = []
     for site in find_acquire_sites(fn):
         if site.managed:
             continue  # `with` releases on every path by construction
-        findings.append(_Walker(site, fn).run())
+        findings.append(_Walker(site, fn, escape_oracle).run())
     return findings
+
+
+# ----------------------------------------------------------------------
+# Yield-interval scaffolding (shared with the whole-program race pass)
+# ----------------------------------------------------------------------
+def is_request_with(stmt: ast.With) -> bool:
+    """Whether a ``with`` statement acquires a resource grant — the *owning
+    grant* that exempts the yields inside it from race reporting."""
+    return any(_is_acquire_call(item.context_expr) for item in stmt.items)
+
+
+class IntervalWalker:
+    """Statement walk of one generator body with yield-*interval*
+    bookkeeping.
+
+    A process generator's execution splits into intervals separated by its
+    yields: within one interval the process runs atomically (the engine is
+    cooperative), across a yield arbitrary other processes interleave.
+    This base class provides the shared walk order used by the race pass
+    (:mod:`repro.analysis.races`):
+
+    * loop bodies are walked **twice**, so state written late in an
+      iteration meets uses early in the next one (cross-iteration pairs);
+    * branch bodies are walked in sequence — an over-approximation of the
+      path union, which only ever *adds* crossings;
+    * ``with <resource>.request(...)`` bodies run with ``protected`` depth
+      raised: their yield boundaries are flagged as grant-protected.
+
+    Subclasses implement :meth:`visit_expr` (expression events: reads,
+    yields, spawns) and :meth:`visit_assign` (writes), and call
+    :meth:`boundary` when they meet a yield.
+    """
+
+    def __init__(self) -> None:
+        self.interval = 0
+        #: One entry per yield boundary: True when grant-protected.
+        self.yield_flags: list[bool] = []
+        self._protect_depth = 0
+
+    # -- bookkeeping ----------------------------------------------------
+    def boundary(self) -> None:
+        """Record one yield: close the current interval."""
+        self.yield_flags.append(self._protect_depth > 0)
+        self.interval += 1
+
+    def crossed_unprotected(self, since_interval: int) -> bool:
+        """Whether an unprotected yield separates ``since_interval`` from
+        the current interval."""
+        return any(not protected
+                   for protected in self.yield_flags[since_interval:])
+
+    # -- subclass hooks -------------------------------------------------
+    def visit_expr(self, expr: ast.expr) -> None:
+        raise NotImplementedError
+
+    def visit_assign(self, stmt: ast.stmt) -> None:
+        raise NotImplementedError
+
+    def visit_for_target(self, stmt: ast.For) -> None:
+        """Hook: the loop variable binding (default: nothing)."""
+
+    def visit_with_vars(self, stmt: ast.With) -> None:
+        """Hook: ``as`` bindings of a with statement (default: nothing)."""
+
+    def visit_nested_def(self, stmt: ast.stmt) -> None:
+        """Hook: nested function/class definition (default: skipped)."""
+
+    # -- the walk -------------------------------------------------------
+    def walk_body(self, stmts) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            self.visit_nested_def(stmt)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self.visit_assign(stmt)
+            return
+        if isinstance(stmt, ast.Expr):
+            self.visit_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.visit_expr(stmt.exc)
+            return
+        if isinstance(stmt, ast.If):
+            self.visit_expr(stmt.test)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self.visit_expr(stmt.test)
+            for _ in range(2):
+                self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.For):
+            self.visit_expr(stmt.iter)
+            self.visit_for_target(stmt)
+            for _ in range(2):
+                self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self.walk_body(handler.body)
+            self.walk_body(stmt.orelse)
+            self.walk_body(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.With):
+            protected = is_request_with(stmt)
+            for item in stmt.items:
+                self.visit_expr(item.context_expr)
+            self.visit_with_vars(stmt)
+            if protected:
+                self._protect_depth += 1
+            self.walk_body(stmt.body)
+            if protected:
+                self._protect_depth -= 1
+            return
+        # Remaining simple statements (pass, del, assert, import, ...):
+        # visit any embedded expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child)

@@ -70,9 +70,10 @@ LAYER_DEPS: dict[str, frozenset] = {
                               "core", "faults", "gf", "obs", "reliability",
                               "runner", "sim", "trace"}),
     # The benchmark harness drives everything below it but nothing imports
-    # bench back; it sits beside experiments at the top of the DAG.
-    "bench": frozenset({"bench", "cluster", "codes", "core", "experiments",
-                        "gf", "obs", "runner", "sim"}),
+    # bench back; it sits beside experiments at the top of the DAG.  It may
+    # time the analysis engine too (simlint cold/warm benchmarks).
+    "bench": frozenset({"analysis", "bench", "cluster", "codes", "core",
+                        "experiments", "gf", "obs", "runner", "sim"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset({
@@ -114,6 +115,10 @@ class Rule:
     summary: str = ""
     autofixable: bool = False
     layers: frozenset | None = None  # None: every layer, even outside repro
+    #: How the rule reasons: "syntactic" (pattern over one AST) or
+    #: "cfg" (control-flow walk of one function).  Whole-program passes
+    #: live outside this registry (see repro.analysis.wholeprogram).
+    scope: str = "syntactic"
 
     def applies_to(self, layer: str | None) -> bool:
         if self.layers is None:
@@ -335,6 +340,7 @@ class ResourceReleaseRule(Rule):
     id = "RES301"
     summary = "every resource grant must be released on every path"
     layers = None  # resource usage can appear anywhere
+    scope = "cfg"
 
     def check(self, tree, source, path):
         for node in ast.walk(tree):
@@ -355,6 +361,7 @@ class UnprotectedWaitRule(Rule):
     summary = ("grants held across sim waits need try/finally so injected "
                "faults cannot leak them")
     layers = None
+    scope = "cfg"
 
     def check(self, tree, source, path):
         for node in ast.walk(tree):
@@ -386,6 +393,7 @@ class HedgelessRepairWaitRule(Rule):
     summary = ("repair-path code must not wait on a fault-injectable "
                "resource grant without timeout/cancellation handling")
     layers = frozenset({"cluster", "faults"})
+    scope = "cfg"
 
     def check(self, tree, source, path):
         for node in ast.walk(tree):

@@ -37,7 +37,7 @@ __all__ = [
 
 
 def all_specs() -> list["BenchSpec"]:
-    """Every benchmark in the suite: calibration, micro, then macro."""
-    from repro.bench import macro, micro
+    """Every benchmark in the suite: calibration, micro, lint, macro."""
+    from repro.bench import lint, macro, micro
 
-    return micro.specs() + macro.specs()
+    return micro.specs() + lint.specs() + macro.specs()

@@ -356,6 +356,11 @@ class RCStor:
             if status == "timeout":
                 self._fault_counter(rt, "repair.hedged_retries")
                 rotation += 1
+                # Disks may have crashed while the helper reads were in
+                # flight; the snapshot from the top of the loop is stale.
+                failed_roles = {pg.role_of(d) for d in rt.faults.failed_disks
+                                if d in pg}
+                failed_roles.discard(profile.failed_role)
                 if is_rs or self._scalar_rebuild:
                     profile = self._repick_profile(profile, failed_roles,
                                                    rotation)
@@ -1060,6 +1065,11 @@ class RCStor:
                 meta["hedged_retries"] += 1
                 self._fault_counter(rt, "repair.hedged_retries")
                 rotation += 1
+                # Crash callbacks may have grown ``failed_disks`` while the
+                # helper reads were in flight; re-derive the role set.
+                failed_roles = {task.pg.role_of(d) for d in failed_disks
+                                if d in task.pg}
+                failed_roles.discard(profile.failed_role)
                 if is_rs or self._scalar_rebuild:
                     profile = self._repick_profile(profile, failed_roles,
                                                    rotation)

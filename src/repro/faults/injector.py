@@ -40,6 +40,7 @@ class FaultInjector:
         self.helper_timeout = plan.helper_timeout
         self.failed_disks: set[int] = set()
         self.injected: list[FaultEvent] = []
+        self._active_slowdowns: dict[int, list[float]] = {}
         self._on_disk_failure: list[Callable[[int], None]] = []
         self._progress_pending = list(plan.progress_events)
         self._counter = (obs.metrics.counter("faults.injected")
@@ -114,13 +115,27 @@ class FaultInjector:
             callback(disk_id)
 
     def _slow(self, device, factor: float, duration: float | None) -> None:
+        # Overlapping slowdown windows on one device must compose exactly:
+        # each window registers its factor and the device speed is always
+        # the product of the *currently active* factors, so restores cannot
+        # drift the speed through out-of-order divides.
         if factor == 1.0:
             return
-        device.speed_factor *= factor
+        active = self._active_slowdowns.setdefault(id(device), [])
+        active.append(factor)
+        self._recompute_speed(device, active)
 
         def restore():
             yield self.env.timeout(duration)
-            device.speed_factor /= factor
+            active.remove(factor)
+            self._recompute_speed(device, active)
 
         if duration is not None:
             self.env.process(restore())
+
+    @staticmethod
+    def _recompute_speed(device, active: list[float]) -> None:
+        speed = 1.0
+        for factor in active:
+            speed *= factor
+        device.speed_factor = speed

@@ -1,0 +1,103 @@
+"""Project symbol table and call graph (the whole-program substrate)."""
+
+import textwrap
+
+from repro.analysis.callgraph import Project
+
+
+def build(*named_sources):
+    project = Project()
+    for path, source in named_sources:
+        project.add_source(textwrap.dedent(source), path)
+    project.link()
+    return project
+
+
+ENGINE = ("src/repro/cluster/engine.py", """\
+class Engine:
+    def __init__(self, env):
+        self.env = env
+
+    def start(self, tasks):
+        for task in tasks:
+            self.env.process(self.worker(task))
+
+    def worker(self, task):
+        yield self.env.timeout(task.cost)
+        return self.finish(task, force=True)
+
+    def finish(self, task, *, force=False):
+        return (task, force)
+
+
+def helper(x):
+    return x
+""")
+
+
+def test_functions_methods_and_nested_defs_are_indexed():
+    project = build(ENGINE)
+    quals = set(project.functions)
+    assert "repro.cluster.engine.Engine.worker" in quals
+    assert "repro.cluster.engine.helper" in quals
+    worker = project.functions["repro.cluster.engine.Engine.worker"]
+    assert worker.class_name == "Engine"
+    assert worker.is_generator
+    assert worker.params == ["self", "task"]
+    assert worker.layer == "cluster"
+
+
+def test_spawned_generators_are_marked_processes():
+    project = build(ENGINE)
+    worker = project.functions["repro.cluster.engine.Engine.worker"]
+    assert worker.is_process
+    spawns = [s for s in project.spawn_sites if s.target is worker]
+    assert len(spawns) == 1
+    assert spawns[0].in_loop
+
+
+def test_method_calls_resolve_through_self():
+    project = build(ENGINE)
+    worker = project.functions["repro.cluster.engine.Engine.worker"]
+    sites = [s for s in project.call_sites() if s.caller is worker]
+    finish = project.functions["repro.cluster.engine.Engine.finish"]
+    assert any(finish in s.callees for s in sites)
+
+
+def test_map_arguments_offsets_self_and_handles_kwonly():
+    project = build(ENGINE)
+    finish = project.functions["repro.cluster.engine.Engine.finish"]
+    worker = project.functions["repro.cluster.engine.Engine.worker"]
+    call = [s.call for s in project.call_sites()
+            if s.caller is worker and finish in s.callees][0]
+    pairs = dict(Project.map_arguments(finish, call))
+    # positional arg `task` lands on param index 1 (after `self`),
+    # keyword-only `force` beyond len(params)
+    assert [type(a).__name__ for a in pairs.values()] == ["Name", "Constant"]
+    assert sorted(pairs) == [1, 2]
+    assert finish.params[1] == "task"
+    assert finish.kwonly == ["force"]
+
+
+def test_cross_module_resolution_by_imported_name():
+    other = ("src/repro/experiments/driver.py", """\
+from repro.cluster.engine import helper
+
+
+def run():
+    return helper(3)
+""")
+    project = build(ENGINE, other)
+    run = project.functions["repro.experiments.driver.run"]
+    sites = [s for s in project.call_sites() if s.caller is run]
+    helper = project.functions["repro.cluster.engine.helper"]
+    assert any(helper in s.callees for s in sites)
+
+
+def test_unresolvable_calls_have_no_callees():
+    project = build(ENGINE)
+    worker = project.functions["repro.cluster.engine.Engine.worker"]
+    timeout_sites = [
+        s for s in project.call_sites()
+        if s.caller is worker and getattr(s.call.func, "attr", "") == "timeout"]
+    assert timeout_sites == [] or all(not s.callees for s in timeout_sites)

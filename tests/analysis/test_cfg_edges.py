@@ -1,0 +1,155 @@
+"""CFG walker edge cases: control-flow shapes that historically break
+resource state machines (while/else, try/except/else/finally with
+continue, one-line nested with, genexps containing yield)."""
+
+from repro.analysis import lint_source
+
+PATH = "src/repro/cluster/edge.py"
+
+
+def lint(source, select=("RES301", "RES302")):
+    return lint_source(source, PATH, select=list(select))
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+# ----------------------------------------------------------------------
+# while/else
+# ----------------------------------------------------------------------
+def test_while_else_release_in_else_is_clean_without_break():
+    source = """\
+def proc(env, disk):
+    req = disk.request()
+    yield req
+    while env.pending():
+        yield env.timeout(1.0)
+    else:
+        req.release()
+"""
+    assert lint(source, select=["RES301"]) == []
+
+
+def test_while_else_break_skips_the_else_release():
+    # `break` jumps past the else block, so the release is not on that
+    # path: the grant is live at function exit.
+    source = """\
+def proc(env, disk):
+    req = disk.request()
+    yield req
+    while env.pending():
+        status = yield env.timeout(1.0)
+        if status == "giveup":
+            break
+    else:
+        req.release()
+"""
+    assert "RES301" in rules_of(lint(source, select=["RES301"]))
+
+
+# ----------------------------------------------------------------------
+# try/except/else/finally with continue
+# ----------------------------------------------------------------------
+def test_continue_in_except_still_reaches_finally_release():
+    source = """\
+def proc(env, disk):
+    for _ in range(3):
+        req = disk.request()
+        yield req
+        try:
+            yield env.timeout(1.0)
+        except SimulationError:
+            continue
+        finally:
+            req.release()
+"""
+    assert lint(source, select=["RES301"]) == []
+
+
+def test_continue_in_except_skips_an_else_only_release():
+    # The release lives in the try/else block; `continue` in the handler
+    # starts the next iteration without ever running it.
+    source = """\
+def proc(env, disk):
+    for _ in range(3):
+        req = disk.request()
+        yield req
+        try:
+            yield env.timeout(1.0)
+        except SimulationError:
+            continue
+        else:
+            req.release()
+"""
+    assert "RES301" in rules_of(lint(source, select=["RES301"]))
+
+
+def test_release_after_the_loop_does_not_cover_continue():
+    source = """\
+def proc(env, disk):
+    req = disk.request()
+    yield req
+    for _ in range(3):
+        status = yield env.timeout(1.0)
+        if status == "retry":
+            continue
+    req.release()
+"""
+    # every `continue` eventually falls out of the loop into the release
+    assert lint(source, select=["RES301"]) == []
+
+
+# ----------------------------------------------------------------------
+# nested with on one line
+# ----------------------------------------------------------------------
+def test_one_line_nested_with_manages_both_grants():
+    source = """\
+def proc(env, a, b):
+    with a.request() as ra, b.request() as rb:
+        yield ra
+        yield rb
+        yield env.timeout(1.0)
+"""
+    assert lint(source) == []
+
+
+def test_one_line_nested_with_only_first_is_a_grant():
+    source = """\
+def proc(env, a, span):
+    with a.request() as ra, span("repair") as sp:
+        yield ra
+        yield env.timeout(1.0)
+"""
+    assert lint(source) == []
+
+
+# ----------------------------------------------------------------------
+# generator expressions containing yield
+# ----------------------------------------------------------------------
+def test_genexp_with_yield_in_body_does_not_crash_or_leak_state():
+    # The yield in a genexp body runs lazily — if the genexp is never
+    # iterated, the grant wait never happens.  The walker must neither
+    # crash nor treat the assignment line as the open-the-grant wait.
+    source = """\
+def proc(env, disk, items):
+    req = disk.request()
+    gen = ((yield req) for item in items)
+    req.cancel()
+    return gen
+"""
+    violations = lint(source)
+    assert all(v.rule in ("RES301", "RES302") for v in violations)
+
+
+def test_genexp_with_yield_in_iterable_runs_eagerly():
+    # The outermost iterable of a genexp IS evaluated at creation time,
+    # so this function is a generator and the wait is real.
+    source = """\
+def proc(env, disk, items):
+    req = disk.request()
+    gen = (item for item in (yield req))
+    req.release()
+    return gen
+"""
+    assert lint(source, select=["RES301"]) == []

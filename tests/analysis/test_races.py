@@ -1,0 +1,315 @@
+"""RACE8xx cooperative-process race detection (whole-program pass).
+
+The positive fixtures are cut-down versions of the two real bugs this
+pass caught in the tree — the stale ``failed_roles`` snapshot in the
+recovery engine and the compose/restore ``speed_factor`` pair in the
+fault injector — and every positive is paired with the *fixed* shape,
+which must stay clean.
+"""
+
+import textwrap
+
+from repro.analysis.callgraph import Project
+from repro.analysis.races import RacePass
+
+
+def run_race_pass(*sources):
+    project = Project()
+    for idx, source in enumerate(sources):
+        project.add_source(textwrap.dedent(source),
+                           f"src/repro/cluster/mod{idx}.py")
+    project.link()
+    return RacePass(project).run()
+
+
+def rules_at(violations, rule):
+    return sorted(v.line for v in violations if v.rule == rule)
+
+
+# ----------------------------------------------------------------------
+# RACE801: stale snapshot across an unprotected yield (check-then-act)
+# ----------------------------------------------------------------------
+SNAPSHOT_STALE = """\
+class Engine:
+    def __init__(self, env, faults):
+        self.env = env
+        self.faults = faults
+
+    def start(self):
+        self.env.process(self.worker())
+        for _ in range(3):
+            self.env.process(self.crasher())
+
+    def worker(self):
+        while True:
+            failed = {d for d in self.faults.failed_disks if d > 0}
+            status = yield self.env.timeout(1.0)
+            if status == "timeout":
+                self.repick(failed)
+
+    def crasher(self):
+        yield self.env.timeout(0.5)
+        self.faults.failed_disks.add(1)
+
+    def repick(self, failed):
+        return len(failed)
+"""
+
+
+def test_race801_flags_stale_snapshot_use_after_yield():
+    violations = run_race_pass(SNAPSHOT_STALE)
+    assert [v.rule for v in violations] == ["RACE801"]
+    violation = violations[0]
+    assert "failed" in violation.message
+    assert "failed_disks" in violation.message
+    # flagged at the post-yield use, not at the snapshot itself
+    assert violation.line == 16
+
+
+def test_race801_clean_when_snapshot_recomputed_after_the_wait():
+    fixed = SNAPSHOT_STALE.replace(
+        'if status == "timeout":\n'
+        "                self.repick(failed)",
+        'if status == "timeout":\n'
+        "                failed = {d for d in self.faults.failed_disks"
+        " if d > 0}\n"
+        "                self.repick(failed)")
+    assert fixed != SNAPSHOT_STALE
+    assert run_race_pass(fixed) == []
+
+
+def test_race801_reported_once_per_snapshot_not_per_use():
+    source = SNAPSHOT_STALE.replace(
+        "self.repick(failed)",
+        "self.repick(failed)\n                self.repick(failed)")
+    violations = run_race_pass(source)
+    assert [v.rule for v in violations] == ["RACE801"]
+
+
+def test_race801_clean_without_concurrent_writer():
+    # Same worker, but nobody else ever mutates ``failed_disks``: the
+    # snapshot cannot go stale, so nothing fires.
+    solo = SNAPSHOT_STALE.replace(
+        "    def crasher(self):\n"
+        "        yield self.env.timeout(0.5)\n"
+        "        self.faults.failed_disks.add(1)\n", "")
+    solo = solo.replace(
+        "        for _ in range(3):\n"
+        "            self.env.process(self.crasher())\n", "")
+    assert run_race_pass(solo) == []
+
+
+def test_race801_snapshot_protected_by_grant_is_clean():
+    # Holding a managed resource grant across the wait serialises the
+    # writers (they queue on the same resource), so the snapshot stays
+    # fresh: yields inside `with X.request()` are grant-protected.
+    protected = SNAPSHOT_STALE.replace(
+        "    def worker(self):\n"
+        "        while True:\n"
+        "            failed = {d for d in self.faults.failed_disks"
+        " if d > 0}\n"
+        "            status = yield self.env.timeout(1.0)\n"
+        '            if status == "timeout":\n'
+        "                self.repick(failed)\n",
+        "    def worker(self):\n"
+        "        while True:\n"
+        "            with self.lock.request() as grant:\n"
+        "                yield grant\n"
+        "                failed = {d for d in self.faults.failed_disks"
+        " if d > 0}\n"
+        "                status = yield self.env.timeout(1.0)\n"
+        '                if status == "timeout":\n'
+        "                    self.repick(failed)\n")
+    assert protected != SNAPSHOT_STALE
+    violations = run_race_pass(protected)
+    assert rules_at(violations, "RACE801") == []
+
+
+# ----------------------------------------------------------------------
+# RACE801 via shared closure locals (the on_crash / failed_disks shape)
+# ----------------------------------------------------------------------
+SHARED_LOCAL = """\
+class Engine:
+    def __init__(self, env, faults):
+        self.env = env
+        self.faults = faults
+
+    def run_tasks(self, tasks):
+        failed_disks = set()
+
+        def on_crash(disk_id):
+            failed_disks.add(disk_id)
+
+        self.faults.on_disk_failure(on_crash)
+        procs = [self.env.process(self.one_task(task, failed_disks))
+                 for task in tasks]
+        yield self.env.all_of(procs)
+
+    def one_task(self, task, failed_disks):
+        roles = {d for d in failed_disks if d > 0}
+        yield self.env.timeout(1.0)
+        return self.decode(roles)
+
+    def decode(self, roles):
+        return len(roles)
+"""
+
+
+def test_race801_sees_closure_set_mutated_by_escaping_callback():
+    violations = run_race_pass(SHARED_LOCAL)
+    assert [v.rule for v in violations] == ["RACE801"]
+    assert "roles" in violations[0].message
+
+
+def test_race801_shared_local_clean_when_recomputed():
+    fixed = SHARED_LOCAL.replace(
+        "        yield self.env.timeout(1.0)\n"
+        "        return self.decode(roles)",
+        "        yield self.env.timeout(1.0)\n"
+        "        roles = {d for d in failed_disks if d > 0}\n"
+        "        return self.decode(roles)")
+    assert fixed != SHARED_LOCAL
+    assert run_race_pass(fixed) == []
+
+
+# ----------------------------------------------------------------------
+# RACE802: cross-yield compose/restore write pair
+# ----------------------------------------------------------------------
+COMPOSE_RESTORE = """\
+class Slower:
+    def __init__(self, env, device):
+        self.env = env
+        self.device = device
+
+    def start(self):
+        for factor in (2.0, 3.0):
+            self.env.process(self.window(factor, 5.0))
+
+    def window(self, factor, duration):
+        self.device.speed_factor *= factor
+        yield self.env.timeout(duration)
+        self.device.speed_factor /= factor
+"""
+
+
+def test_race802_flags_divide_restore_after_yield():
+    violations = run_race_pass(COMPOSE_RESTORE)
+    assert [v.rule for v in violations] == ["RACE802"]
+    violation = violations[0]
+    assert violation.line == 13  # the restore write, not the compose
+    assert "speed_factor" in violation.message
+
+
+def test_race802_clean_with_exact_bookkeeping():
+    # The fixed shape from the injector: register the factor, recompute
+    # the product of *currently active* factors on both edges.  The
+    # recompute is a plain assign from current state — no stale operand.
+    fixed = """\
+class Slower:
+    def __init__(self, env, device):
+        self.env = env
+        self.device = device
+        self.active = []
+
+    def start(self):
+        for factor in (2.0, 3.0):
+            self.env.process(self.window(factor, 5.0))
+
+    def recompute(self):
+        speed = 1.0
+        for factor in self.active:
+            speed *= factor
+        self.device.speed_factor = speed
+
+    def window(self, factor, duration):
+        self.active.append(factor)
+        self.recompute()
+        yield self.env.timeout(duration)
+        self.active.remove(factor)
+        self.recompute()
+"""
+    assert run_race_pass(fixed) == []
+
+
+def test_race802_commutative_accumulation_is_clean():
+    # += / -= commute across interleavings; only compose/restore shapes
+    # (multiply, divide, shifts, …) are order-sensitive.
+    additive = COMPOSE_RESTORE.replace("*=", "+=").replace("/=", "-=")
+    assert run_race_pass(additive) == []
+
+
+def test_race802_single_window_is_clean():
+    solo = COMPOSE_RESTORE.replace(
+        "        for factor in (2.0, 3.0):\n"
+        "            self.env.process(self.window(factor, 5.0))",
+        "        self.env.process(self.window(2.0, 5.0))")
+    assert run_race_pass(solo) == []
+
+
+# ----------------------------------------------------------------------
+# Live aliases are not snapshots (regression for a false positive the
+# injector fix itself uncovered)
+# ----------------------------------------------------------------------
+def test_live_alias_through_setdefault_is_not_a_snapshot():
+    # ``active`` aliases the stored list: reads through it always see
+    # current state, so using it after a yield is not check-then-act.
+    source = """\
+class Slower:
+    def __init__(self, env):
+        self.env = env
+        self.slowdowns = {}
+
+    def start(self):
+        for factor in (2.0, 3.0):
+            self.env.process(self.window(factor))
+
+    def window(self, factor):
+        active = self.slowdowns.setdefault("disk", [])
+        active.append(factor)
+        yield self.env.timeout(5.0)
+        active.remove(factor)
+"""
+    assert run_race_pass(source) == []
+
+
+def test_bare_attribute_alias_is_not_a_snapshot():
+    source = """\
+class Engine:
+    def __init__(self, env, faults):
+        self.env = env
+        self.faults = faults
+
+    def start(self):
+        self.env.process(self.worker())
+        for _ in range(3):
+            self.env.process(self.crasher())
+
+    def worker(self):
+        live = self.faults.failed_disks
+        yield self.env.timeout(1.0)
+        return len(live)
+
+    def crasher(self):
+        yield self.env.timeout(0.5)
+        self.faults.failed_disks.add(1)
+"""
+    assert run_race_pass(source) == []
+
+
+def test_constructor_writes_do_not_make_attributes_concurrent():
+    source = """\
+class Engine:
+    def __init__(self, env):
+        self.env = env
+        self.queue = []
+
+    def start(self):
+        for _ in range(3):
+            self.env.process(self.worker())
+
+    def worker(self):
+        depth = len(self.queue)
+        yield self.env.timeout(1.0)
+        return depth
+"""
+    assert run_race_pass(source) == []

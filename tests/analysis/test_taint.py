@@ -1,0 +1,164 @@
+"""DET7xx determinism-taint pass (whole-program).
+
+SIM101/102 flag nondeterminism sources only in layers that forbid them;
+this pass follows the tainted *value* to a sink that feeds simulated
+behaviour, so laundering through helpers or permitted layers no longer
+hides the bug.
+"""
+
+import textwrap
+
+from repro.analysis.callgraph import Project
+from repro.analysis.taint import TaintPass
+
+
+def run_taint(source, path="src/repro/experiments/mod.py"):
+    project = Project()
+    project.add_source(textwrap.dedent(source), path)
+    project.link()
+    return TaintPass(project).run()
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+# ----------------------------------------------------------------------
+# DET701: event scheduling / request priority
+# ----------------------------------------------------------------------
+def test_det701_wall_clock_laundered_through_two_helpers():
+    source = """\
+import time
+
+
+def jitter():
+    return time.time() % 1.0
+
+
+def backoff(attempt):
+    return jitter() * attempt
+
+
+def worker(env):
+    yield env.timeout(backoff(3))
+"""
+    violations = run_taint(source)
+    assert rules_of(violations) == ["DET701"]
+    assert "time.time" in violations[0].message
+    assert "worker" in violations[0].message
+
+
+def test_det701_tainted_request_priority():
+    source = """\
+import random
+
+
+def worker(env, disk):
+    prio = random.randint(0, 3)
+    req = disk.request(priority=prio)
+    yield req
+"""
+    violations = run_taint(source)
+    assert rules_of(violations) == ["DET701"]
+    assert "priority" in violations[0].message
+
+
+def test_det701_set_iteration_order_reaches_scheduling():
+    source = """\
+def worker(env, disk_ids):
+    for disk in set(disk_ids):
+        yield env.timeout(disk * 0.5)
+"""
+    assert rules_of(run_taint(source)) == ["DET701"]
+
+
+def test_sorted_sanitizes_order_taint_only():
+    clean = """\
+def worker(env, disk_ids):
+    for disk in sorted(set(disk_ids)):
+        yield env.timeout(disk * 0.5)
+"""
+    assert run_taint(clean) == []
+
+    still_dirty = """\
+import time
+
+
+def worker(env):
+    delays = sorted([time.time() % 1.0])
+    yield env.timeout(delays[0])
+"""
+    assert rules_of(run_taint(still_dirty)) == ["DET701"]
+
+
+def test_det701_param_sink_summary_flags_the_caller():
+    # ``schedule_at`` is innocent in isolation; the caller feeding it a
+    # wall-clock read is the bug, and that is where the finding lands.
+    source = """\
+import time
+
+
+def schedule_at(env, delay):
+    yield env.timeout(delay)
+
+
+def driver(env):
+    yield from schedule_at(env, time.time() % 1.0)
+"""
+    violations = run_taint(source)
+    assert rules_of(violations) == ["DET701"]
+    assert "schedule_at" in violations[0].message
+    assert violations[0].line == 9  # the call in driver, not the helper
+
+
+def test_seeded_rng_is_clean():
+    source = """\
+import random
+
+
+def worker(env, seed):
+    rng = random.Random(seed)
+    yield env.timeout(rng.random())
+"""
+    assert run_taint(source) == []
+
+
+# ----------------------------------------------------------------------
+# DET702 / DET703: metric labels and scenario parameters
+# ----------------------------------------------------------------------
+def test_det702_tainted_metric_label():
+    source = """\
+import os
+
+
+def record(metrics):
+    shard = os.getenv("SHARD")
+    metrics.counter(f"repair.{shard}").inc()
+"""
+    violations = run_taint(source)
+    assert rules_of(violations) == ["DET702"]
+    assert "os.getenv" in violations[0].message
+
+
+def test_det703_tainted_scenario_parameter():
+    source = """\
+import random
+
+
+def build(Scenario):
+    return Scenario(n_objects=random.randint(1, 10))
+"""
+    assert rules_of(run_taint(source)) == ["DET703"]
+
+
+def test_container_write_taints_the_container():
+    source = """\
+import time
+
+
+def worker(env):
+    delays = []
+    delays.append(time.time() % 1.0)
+    yield env.timeout(delays[0])
+"""
+    assert rules_of(run_taint(source)) == ["DET701"]

@@ -159,3 +159,31 @@ def test_queued_read_granted_after_crash_fails_without_service():
     # The first read was in service when the disk died; the queued one is
     # granted afterwards and must fail immediately.
     assert statuses == [IO_FAILED]
+
+
+def test_overlapping_slowdowns_compose_and_restore_exactly():
+    """Two slowdown windows overlap (4.9x over t=0..5, 3.3x over t=2..8).
+
+    The device speed must be the product of the *currently active*
+    windows at every instant, and return to exactly 1.0 once both have
+    restored — the old divide-out-the-factor restore drifted through
+    float rounding (4.9 * 3.3 / 4.9 != 3.3) and the residue survived
+    forever.
+    """
+    plan = FaultPlan(events=(
+        FaultEvent("disk_slow", at=0.0, disk=0, factor=4.9, duration=5.0),
+        FaultEvent("disk_slow", at=2.0, disk=0, factor=3.3, duration=6.0),
+    ))
+    env, disks, _, _ = _rig(plan)
+    samples = {}
+
+    def probe():
+        for t in (1.0, 3.0, 6.0, 9.0):
+            yield env.timeout(t - env.now)
+            samples[t] = disks[0].speed_factor
+
+    env.run(env.process(probe()))
+    assert samples[1.0] == 4.9            # first window only
+    assert samples[3.0] == 4.9 * 3.3      # both active
+    assert samples[6.0] == 3.3            # exactly: first window restored
+    assert samples[9.0] == 1.0            # exactly: fully restored
