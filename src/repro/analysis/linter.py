@@ -97,6 +97,12 @@ def layer_of(path: str | Path) -> str | None:
             rest = parts[i + 1:]
             if not rest or (len(rest) == 1 and rest[0].endswith(".py")):
                 return ""
+            # The placement-policy package is its own layer: it sits
+            # below cluster (which imports it) and must not reach back
+            # into the rest of the cluster machinery.
+            if rest[0] == "cluster" and len(rest) > 2 \
+                    and rest[1] == "placement":
+                return "placement"
             return rest[0]
     return None
 

@@ -42,7 +42,7 @@ from repro.analysis.linter import Fix, Violation
 #: Layers whose behaviour determines simulated numbers.
 DETERMINISTIC_LAYERS = frozenset(
     {"sim", "cluster", "core", "trace", "codes", "gf", "faults",
-     "reliability"})
+     "reliability", "placement"})
 
 #: Layers where process generators live.
 PROCESS_LAYERS = frozenset({"sim", "cluster", "core", "faults"})
@@ -60,20 +60,24 @@ LAYER_DEPS: dict[str, frozenset] = {
     "reliability": frozenset({"reliability"}),
     # Fault plans/injectors touch only the engine and device fault state.
     "faults": frozenset({"faults", "sim"}),
+    # Placement policies see only the cluster *shape* types
+    # (repro.cluster.topology) — never disks, networks, or runtimes.
+    "placement": frozenset({"placement", "cluster"}),
     "cluster": frozenset({"cluster", "codes", "core", "faults", "gf", "obs",
-                          "sim", "trace"}),
+                          "placement", "sim", "trace"}),
     "analysis": frozenset({"analysis", "codes", "gf", "obs", "sim"}),
     # The runner orchestrates observers and invariant checks but never the
     # simulation itself; "" is the top-level package (for __version__).
     "runner": frozenset({"runner", "obs", "analysis", ""}),
     "experiments": frozenset({"experiments", "analysis", "cluster", "codes",
-                              "core", "faults", "gf", "obs", "reliability",
-                              "runner", "sim", "trace"}),
+                              "core", "faults", "gf", "obs", "placement",
+                              "reliability", "runner", "sim", "trace"}),
     # The benchmark harness drives everything below it but nothing imports
     # bench back; it sits beside experiments at the top of the DAG.  It may
     # time the analysis engine too (simlint cold/warm benchmarks).
     "bench": frozenset({"analysis", "bench", "cluster", "codes", "core",
-                        "experiments", "gf", "obs", "runner", "sim"}),
+                        "experiments", "gf", "obs", "placement", "runner",
+                        "sim"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset({

@@ -37,7 +37,8 @@ __all__ = [
 
 
 def all_specs() -> list["BenchSpec"]:
-    """Every benchmark in the suite: calibration, micro, lint, macro."""
-    from repro.bench import lint, macro, micro
+    """Every benchmark in the suite: calibration, micro, fabric, lint,
+    macro."""
+    from repro.bench import fabric, lint, macro, micro
 
-    return micro.specs() + lint.specs() + macro.specs()
+    return micro.specs() + fabric.specs() + lint.specs() + macro.specs()

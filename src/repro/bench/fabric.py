@@ -1,0 +1,78 @@
+"""Fabric benchmarks: the rack/switch interconnect's hot paths.
+
+The hierarchical :class:`~repro.cluster.network.Fabric` put link-chain
+resolution and multi-hop transfers on the repair hot path, so both get
+their own gate:
+
+* ``fabric.route_resolution`` — pure chain lookups (no simulation), the
+  per-transfer overhead every tiered gather pays.
+* ``fabric.intra_rack_transfers`` — two-hop (NIC -> NIC) transfers inside
+  one rack.
+* ``fabric.cross_rack_gather`` — many-helper gathers whose legs contend
+  on ToR uplinks and the shared aggregation link — the placement-matrix
+  regime.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchSpec
+from repro.cluster.network import Fabric
+from repro.cluster.topology import ClusterConfig
+from repro.sim.engine import Environment
+
+_MB = 1 << 20
+
+_CONFIG = ClusterConfig(n_nodes=32, n_racks=8, nodes_per_rack=4,
+                        tor_gbps=10.0, oversubscription=4.0)
+
+_N_ROUTES = 50_000
+_N_TRANSFERS = 2_000
+_N_GATHERS = 400
+
+
+def _route_resolution() -> int:
+    fabric = Fabric(Environment(), _CONFIG)
+    hops = 0
+    for i in range(_N_ROUTES):
+        hops += len(fabric.route(i % 32, src_node=(i * 7 + 1) % 32))
+    return hops
+
+
+def _intra_rack_transfers() -> float:
+    env = Environment()
+    fabric = Fabric(env, _CONFIG)
+
+    def driver():
+        for i in range(_N_TRANSFERS):
+            src = i % 4
+            dst = (i + 1) % 4  # same rack (nodes 0-3), never src == dst
+            yield env.process(fabric.transfer(_MB, dst, src_node=src))
+
+    env.run(env.process(driver()))
+    return env.now
+
+
+def _cross_rack_gather() -> float:
+    env = Environment()
+    fabric = Fabric(env, _CONFIG)
+    # 13 helpers spread over all racks, gathering into node 0.
+    sources = [((5 * h + 3) % 32, _MB) for h in range(13)]
+
+    def driver():
+        for _ in range(_N_GATHERS):
+            yield env.process(fabric.gather(0, 13 * _MB, sources))
+
+    env.run(env.process(driver()))
+    return env.now
+
+
+def specs() -> list[BenchSpec]:
+    """The fabric suite."""
+    return [
+        BenchSpec("fabric.route_resolution", "fabric", _route_resolution,
+                  units=_N_ROUTES),
+        BenchSpec("fabric.intra_rack_transfers", "fabric",
+                  _intra_rack_transfers, units=_N_TRANSFERS),
+        BenchSpec("fabric.cross_rack_gather", "fabric", _cross_rack_gather,
+                  units=_N_GATHERS),
+    ]

@@ -18,7 +18,13 @@ from repro.cluster.foreground import start_foreground_load
 from repro.cluster.ingestion import measure_puts, run_batch_export
 from repro.cluster.memory import MemoryPool
 from repro.cluster.metadata import IndexRecord, PGIndex, build_indexes
-from repro.cluster.network import GBPS, Link, Nic, client_link
+from repro.cluster.network import GBPS, Fabric, Link, Nic, client_link
+from repro.cluster.placement import (
+    PlacementPolicy,
+    get_policy,
+    policy_names,
+    register_policy,
+)
 from repro.cluster.profiles import HelperRead, ProfileCache, RepairProfile
 from repro.cluster.rcstor import DegradedReadResult, RCStor, RecoveryReport
 from repro.cluster.topology import Cluster, ClusterConfig, PlacementGroup
@@ -43,9 +49,14 @@ __all__ = [
     "PGIndex",
     "build_indexes",
     "GBPS",
+    "Fabric",
     "Link",
     "Nic",
     "client_link",
+    "PlacementPolicy",
+    "get_policy",
+    "policy_names",
+    "register_policy",
     "HelperRead",
     "ProfileCache",
     "RepairProfile",

@@ -86,7 +86,7 @@ def measure_puts(system: RCStor, sizes, busy: bool = False,
     sizes = [int(s) for s in sizes]
 
     def one_put(object_id: int, size: int):
-        client = client_link(rt.env, system.config.client_gbps)
+        client = rt.client(system.config.client_gbps)
         upload = rt.env.process(client.transfer(size))
         # Replica writes start as soon as bytes begin arriving (streamed);
         # they cannot finish before the upload does.
@@ -138,7 +138,11 @@ def run_batch_export(system: RCStor, sizes, concurrency: int = 64,
         yield env.process(source.read(1, size, BACKGROUND))
         stats["read"] += size
         server = object_id % config.n_nodes
-        yield env.process(rt.nics[server].transfer(size))
+        # Route through the fabric: the staged replica lives on another
+        # node, so on a tiered cluster the export haul can cross racks.
+        source_node = config.node_of(source.disk_id)
+        yield env.process(rt.fabric.transfer(size, server,
+                                             src_node=source_node))
         yield env.timeout(system.codec.encode_time(size))
         placement = system.layout.place(size)
         n_ios = max(1, placement.n_chunks)

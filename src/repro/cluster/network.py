@@ -1,4 +1,4 @@
-"""Network models: datacenter NICs and client edge links.
+"""Network models: datacenter NICs, the rack/switch fabric, client links.
 
 The cluster network (56 Gbps IPoIB in the paper) is modelled per-node as a
 serialising resource — it is deliberately fast so that, as the paper
@@ -6,12 +6,22 @@ observes, "the network is not the bottleneck for recovery" (Table 3).  The
 client edge is the scarce resource for degraded reads: each client gets a
 dedicated 1 Gbps (configurable) link, and transfer over it dominates
 degraded-read time (§2.1).
+
+Beyond one rack the picture inverts: helper traffic funnels through
+per-rack ToR uplinks into a shared (often oversubscribed) aggregation
+layer, and *cross-rack* bytes become the scarce resource for repair.  The
+:class:`Fabric` models this as a chain of serialising links per transfer —
+sender NIC, sender ToR uplink, aggregation link, receiver ToR uplink,
+receiver NIC — collapsing to just the receiver NIC when both endpoints
+share a rack or when the cluster has a single rack (the paper's testbed),
+in which case every simulated number is bit-identical to the flat model.
 """
 
 from __future__ import annotations
 
 from repro.cluster.disk import IO_OK
-from repro.sim import Environment, Resource
+from repro.cluster.topology import ClusterConfig
+from repro.sim import Environment, Interrupted, Resource
 
 GBPS = 125 * (1 << 20)  # 1 Gbit/s in bytes/second (network gigabits)
 
@@ -39,7 +49,7 @@ class Link:
                               kind=kind or "link", instance=instance)
         self.bytes_transferred = 0
         # Fault state: a FaultInjector (repro.faults) stretches transfer
-        # times through this multiplier (transient NIC slowdown).
+        # times through this multiplier (transient NIC/ToR slowdown).
         self.speed_factor = 1.0
 
     def transfer_time(self, nbytes: int) -> float:
@@ -51,6 +61,10 @@ class Link:
 
         Returns :data:`~repro.cluster.disk.IO_OK`; held as a context
         manager so an interrupted transfer cancels or releases its grant.
+        An interrupted transfer accounts the bytes it actually serialised
+        (pro rata over its service time) before re-raising, so per-link
+        byte counters stay honest under fault plans that kill in-flight
+        work.
         """
         if nbytes < 0:
             raise ValueError("negative transfer")
@@ -59,7 +73,14 @@ class Link:
             service = self.transfer_time(nbytes)
             if self.speed_factor != 1.0:
                 service *= self.speed_factor
-            yield self.env.timeout(service)
+            started = self.env.now
+            try:
+                yield self.env.timeout(service)
+            except Interrupted:
+                if service > 0:
+                    done = min((self.env.now - started) / service, 1.0)
+                    self.bytes_transferred += int(nbytes * done)
+                raise
         self.bytes_transferred += nbytes
         return IO_OK
 
@@ -73,6 +94,104 @@ class Nic(Link):
         super().__init__(env, bandwidth, name, obs=obs, kind="nic", run=run)
 
 
-def client_link(env: Environment, gbps: float = 1.0) -> Link:
+class Fabric:
+    """The cluster interconnect: per-node NICs plus an optional rack tier.
+
+    With ``config.n_racks == 1`` the fabric is *flat*: :meth:`route`
+    resolves every transfer to the destination NIC alone, exactly the
+    historical per-NIC model.  With more racks it is *tiered*: per-rack
+    ToR uplinks (``tor-<rack>``) and a shared aggregation link (``agg``)
+    join the chain for cross-rack transfers, and intra-rack transfers
+    charge both endpoint NICs but skip the switch tier entirely.
+
+    Transfers are store-and-forward: each hop serialises the full payload
+    before the next begins, so a chain's latency is the sum of per-hop
+    serialisation times and a slow shared hop (an oversubscribed ``agg``)
+    backlogs every cross-rack flow behind it.  :meth:`gather` models a
+    repair server pulling from many helpers: upstream legs run in
+    parallel (distinct source chains), then the destination NIC
+    serialises the combined payload, matching the flat model's accounting
+    at the destination.
+
+    ``links`` maps every link name to its object — the registry fault
+    injectors use to aim ``nic_slow`` / ``tor_slow`` events.
+    """
+
+    def __init__(self, env: Environment, config: ClusterConfig,
+                 obs=None, run: str | None = None):
+        self.env = env
+        self.config = config
+        self.nics = [Nic(env, bandwidth=config.nic_bandwidth,
+                         name=f"nic-{n}", obs=obs, run=run)
+                     for n in range(config.n_nodes)]
+        self.tors: list[Link] = []
+        self.agg: Link | None = None
+        if config.n_racks > 1:
+            self.tors = [Link(env, config.tor_bandwidth, name=f"tor-{r}",
+                              obs=obs, kind="tor", run=run)
+                         for r in range(config.n_racks)]
+            self.agg = Link(env, config.agg_bandwidth, name="agg",
+                            obs=obs, kind="agg", run=run)
+        self.links: dict[str, Link] = {
+            link.name: link for link in (*self.nics, *self.tors)}
+        if self.agg is not None:
+            self.links[self.agg.name] = self.agg
+
+    @property
+    def tiered(self) -> bool:
+        """Whether the switch tier exists (``n_racks > 1``)."""
+        return bool(self.tors)
+
+    def route(self, dst_node: int, src_node: int | None = None) -> list:
+        """The link chain a transfer to ``dst_node`` serialises through.
+
+        Without a source (client ingress, or the flat fabric) the chain is
+        just the destination NIC.  Within a rack the switch tier is
+        skipped.  A node never transits its own NIC twice.
+        """
+        if not self.tiered or src_node is None or src_node == dst_node:
+            return [self.nics[dst_node]]
+        src_rack = self.config.rack_of(src_node)
+        dst_rack = self.config.rack_of(dst_node)
+        if src_rack == dst_rack:
+            return [self.nics[src_node], self.nics[dst_node]]
+        return [self.nics[src_node], self.tors[src_rack], self.agg,
+                self.tors[dst_rack], self.nics[dst_node]]
+
+    def transfer(self, nbytes: int, dst_node: int,
+                 src_node: int | None = None):
+        """Process: move ``nbytes`` to ``dst_node`` over the route's hops."""
+        for link in self.route(dst_node, src_node):
+            yield from link.transfer(nbytes)
+        return IO_OK
+
+    def gather(self, dst_node: int, total_bytes: int, sources=None):
+        """Process: pull ``total_bytes`` into ``dst_node`` from helpers.
+
+        ``sources`` is an iterable of ``(src_node, nbytes)`` legs; on a
+        tiered fabric each leg serialises through its upstream chain (all
+        hops short of the destination NIC) in parallel, then the
+        destination NIC serialises the combined payload.  Flat fabrics —
+        or calls without source detail — skip straight to the destination
+        NIC, byte-identical to the historical per-NIC model.
+        """
+        if self.tiered and sources:
+            legs = [self.env.process(self._haul(dst_node, src, nbytes))
+                    for src, nbytes in sources
+                    if src != dst_node and nbytes > 0]
+            if legs:
+                yield self.env.all_of(legs)
+        yield from self.nics[dst_node].transfer(total_bytes)
+        return IO_OK
+
+    def _haul(self, dst_node: int, src_node: int, nbytes: int):
+        """Process: one gather leg — the chain minus the destination NIC."""
+        for link in self.route(dst_node, src_node)[:-1]:
+            yield from link.transfer(nbytes)
+
+
+def client_link(env: Environment, gbps: float = 1.0, obs=None,
+                run: str | None = None) -> Link:
     """A client edge link of the given bandwidth in Gbps (paper default 1)."""
-    return Link(env, gbps * GBPS, name=f"client-{gbps}gbps")
+    return Link(env, gbps * GBPS, name=f"client-{gbps}gbps",
+                obs=obs, kind="client", run=run)

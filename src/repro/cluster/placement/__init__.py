@@ -1,0 +1,80 @@
+"""Pluggable placement policies: which disks form each placement group.
+
+A policy is pure, seeded construction — it turns a
+:class:`~repro.cluster.topology.ClusterConfig` into the ordered PG list the
+:class:`~repro.cluster.topology.Cluster` serves, and nothing else.  All
+randomness comes from ``config.pg_seed``, so a policy's output is a bit-
+reproducible function of the config (the same contract the scenario runner
+relies on for caching and ``--jobs`` fan-out).
+
+Three built-in policies:
+
+``flat_random``
+    The historical builder, extracted verbatim: every PG picks ``n``
+    distinct nodes at random and the least-loaded disk within each.  The
+    default, and byte-identical to the pre-policy ``Cluster`` output.
+``rack_aware``
+    Rack-fault-tolerant minimal span: each PG spreads over the fewest
+    least-loaded racks that keep any single rack's share at most ``r``
+    chunks (a whole-rack loss stays repairable), which also concentrates
+    repair helper traffic and cuts cross-rack bytes versus ``flat_random``.
+``copyset``
+    Copyset placement (Cidon et al., ATC '13) adapted to wide stripes: PGs
+    draw from a small pool of permutation-chopped node sets instead of
+    independent random sets, trading recovery parallelism for a much lower
+    probability that some r+1 simultaneous node failures share a stripe.
+
+Register custom policies with :func:`register_policy`; name them in
+``ClusterConfig.placement``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.placement.base import PlacementPolicy, least_loaded_disk
+from repro.cluster.placement.copyset import CopysetPolicy
+from repro.cluster.placement.flat import FlatRandomPolicy
+from repro.cluster.placement.rack_aware import RackAwarePolicy
+
+__all__ = [
+    "PlacementPolicy",
+    "FlatRandomPolicy",
+    "RackAwarePolicy",
+    "CopysetPolicy",
+    "POLICIES",
+    "get_policy",
+    "register_policy",
+    "policy_names",
+    "least_loaded_disk",
+]
+
+#: Name -> policy instance.  Policies are stateless between builds, so one
+#: shared instance per name is safe.
+POLICIES: dict[str, PlacementPolicy] = {}
+
+
+def register_policy(policy: PlacementPolicy) -> PlacementPolicy:
+    """Add a policy to the registry (last registration wins)."""
+    POLICIES[policy.name] = policy
+    return policy
+
+
+def get_policy(name: str | PlacementPolicy) -> PlacementPolicy:
+    """Resolve a policy by registry name (instances pass through)."""
+    if not isinstance(name, str):
+        return name
+    try:
+        return POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(
+            f"unknown placement policy {name!r} (known: {known})") from None
+
+
+def policy_names() -> list[str]:
+    """Registered policy names, sorted."""
+    return sorted(POLICIES)
+
+
+register_policy(FlatRandomPolicy())
+register_policy(RackAwarePolicy())
+register_policy(CopysetPolicy())

@@ -1,0 +1,44 @@
+"""The placement-policy protocol and shared construction helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.cluster.topology import ClusterConfig, PlacementGroup
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Pure, seeded PG construction.
+
+    Implementations must be deterministic in ``config`` alone (draw all
+    randomness from ``config.pg_seed``) and yield ``config.n_pgs`` groups of
+    ``config.n`` disks on distinct nodes, with roles rotated per PG so that
+    every disk plays all code-node indices across its PGs.
+    """
+
+    #: Registry name (what ``ClusterConfig.placement`` holds).
+    name: str
+
+    def build_pgs(self, config: ClusterConfig) -> Iterable[PlacementGroup]:
+        """Yield the cluster's placement groups in PG-id order."""
+        ...
+
+
+def least_loaded_disk(config: ClusterConfig, node: int,
+                      load: list[int]) -> int:
+    """The least-PG-loaded disk of ``node`` (lowest id on ties), with the
+    pick accounted into ``load`` — the per-node step every builder shares."""
+    first = node * config.disks_per_node
+    candidates = range(first, first + config.disks_per_node)
+    best = min(candidates, key=lambda d: (load[d], d))
+    load[best] += 1
+    return best
+
+
+def rotated(disks: list[int], pg_id: int, n: int) -> tuple[int, ...]:
+    """Role rotation: shift the disk order by ``pg_id % n`` so each disk
+    plays every code-node index (and all four Clay repair cases) across
+    its PGs."""
+    rotation = pg_id % n
+    return tuple(disks[rotation:] + disks[:rotation])

@@ -31,7 +31,7 @@ from repro.cluster.disk import (
     Disk,
 )
 from repro.cluster.foreground import start_foreground_load
-from repro.cluster.network import Link, Nic, client_link
+from repro.cluster.network import Fabric, Link, client_link
 from repro.cluster.profiles import HelperRead, ProfileCache, RepairProfile
 from repro.cluster.topology import Cluster, ClusterConfig, PlacementGroup
 from repro.codes import LRCCode, RSCode
@@ -74,6 +74,11 @@ class RecoveryReport:
     tasks_escalated: int = 0
     tasks_abandoned: int = 0
     hedged_retries: int = 0
+    # Rack-tier traffic (both zero on the flat single-rack fabric):
+    # bytes serialised through ToR uplinks, and through the aggregation
+    # link (= bytes that crossed racks).
+    tor_bytes: int = 0
+    cross_rack_bytes: int = 0
 
     @property
     def recovery_rate(self) -> float:
@@ -115,11 +120,11 @@ class _Runtime:
         if timeline is not None:
             timeline.set_label(self.env, f"{self.pid}:{label}")
         run = str(self.pid) if obs is not None else None
+        self.run = run
         self.disks = [Disk(self.env, config.disk_model, i, obs=obs, run=run)
                       for i in range(config.n_disks)]
-        self.nics = [Nic(self.env, bandwidth=config.nic_bandwidth,
-                         name=f"nic-{n}", obs=obs, run=run)
-                     for n in range(config.n_nodes)]
+        self.fabric = Fabric(self.env, config, obs=obs, run=run)
+        self.nics = self.fabric.nics
         self.rng = np.random.default_rng(seed)
         # An *empty* plan is equivalent to no plan: no injector is built
         # and every fault branch stays cold, so the simulated numbers are
@@ -127,11 +132,22 @@ class _Runtime:
         self.faults: FaultInjector | None = None
         if faults:
             self.faults = FaultInjector(self.env, self.disks, self.nics,
-                                        faults, obs=obs)
+                                        faults, obs=obs,
+                                        links=self.fabric.links)
             if obs is not None:
                 self.faults.span_cb = (
                     lambda name, start, end, **args:
                     self.span(name, "faults", start, end, **args))
+
+    def client(self, gbps: float) -> Link:
+        """A fresh client edge link.
+
+        Instrumented only on tiered fabrics: the flat-fabric metric
+        snapshot is pinned byte-for-byte by the expected-results fixture,
+        so client queue metrics may not appear there.
+        """
+        obs = self.obs if self.fabric.tiered else None
+        return client_link(self.env, gbps, obs=obs, run=self.run)
 
     def span(self, name: str, track: str, start: float, end: float,
              **args) -> None:
@@ -166,6 +182,16 @@ class _Runtime:
             sum(d.bytes_written for d in self.disks))
         metrics.counter("nic.bytes_transferred", run=run).inc(
             sum(n.bytes_transferred for n in self.nics))
+        if self.fabric.tiered:
+            for rack, tor in enumerate(self.fabric.tors):
+                metrics.gauge("tor.utilization", run=run, rack=rack
+                              ).set(tor.queue.utilization(), now)
+            metrics.gauge("agg.utilization", run=run
+                          ).set(self.fabric.agg.queue.utilization(), now)
+            metrics.counter("tor.bytes_transferred", run=run).inc(
+                sum(t.bytes_transferred for t in self.fabric.tors))
+            metrics.counter("agg.bytes_transferred", run=run).inc(
+                self.fabric.agg.bytes_transferred)
 
 
 class RCStor:
@@ -431,7 +457,7 @@ class RCStor:
             if busy:
                 yield rt.env.timeout(warmup)
             for obj in objects:
-                client = client_link(rt.env, self.config.client_gbps)
+                client = rt.client(self.config.client_gbps)
                 t0 = rt.env.now
                 yield rt.env.process(self._normal_read_proc(rt, obj, client))
                 times.append(rt.env.now - t0)
@@ -467,6 +493,38 @@ class RCStor:
             pos += chunk.data_bytes
         return out
 
+    def _gather_node(self, rt: _Runtime, pg: PlacementGroup,
+                     node: int) -> int:
+        """Where a repair's helper bytes funnel.
+
+        On the flat fabric this is ``node`` itself — the paper's design,
+        where any HTTP server reconstructs and rack locality does not
+        exist.  On tiered fabrics the gather is mapped onto one of the
+        stripe's member nodes (locality-aware repair placement): the
+        reconstruction worker runs where part of the stripe already
+        lives, so packing policies keep helper traffic behind the
+        stripe's own ToRs.  The mapping consumes no extra randomness.
+        """
+        if not rt.fabric.tiered:
+            return node
+        node_of = self.config.node_of
+        members = sorted({node_of(d) for d in pg.disk_ids})
+        return members[node % len(members)]
+
+    def _helper_sources(self, rt: _Runtime, pg: PlacementGroup,
+                        profile: RepairProfile):
+        """Per-helper ``(node, nbytes)`` gather legs for a tiered fabric.
+
+        ``None`` on a flat fabric — legs are never built there, so the
+        gather degenerates to the historical destination-NIC transfer and
+        stays byte-identical to the pre-fabric model.
+        """
+        if not rt.fabric.tiered:
+            return None
+        node_of = self.config.node_of
+        return [(node_of(pg.disk_ids[h.role]), h.nbytes)
+                for h in profile.helpers]
+
     def _degraded_single_disk_proc(self, rt: _Runtime, obj: StoredObject,
                                    client: Link, result: DegradedReadResult,
                                    byte_range: tuple[int, int] | None = None):
@@ -479,7 +537,8 @@ class RCStor:
         overlaps = self._overlaps(placement.chunks, byte_range)
         chunks = [(c, n) for c, n in zip(placement.chunks, overlaps) if n > 0]
         ready = [env.event() for _ in chunks]
-        server_nic = rt.nics[int(rt.rng.integers(self.config.n_nodes))]
+        server_node = self._gather_node(
+            rt, pg, int(rt.rng.integers(self.config.n_nodes)))
 
         def repair_proc():
             t0 = env.now
@@ -505,7 +564,9 @@ class RCStor:
                             chunk=i, nbytes=profile.total_read_bytes)
                 if not self.ecpipe:
                     t_gather = env.now
-                    yield env.process(server_nic.transfer(profile.total_read_bytes))
+                    yield env.process(rt.fabric.gather(
+                        server_node, profile.total_read_bytes,
+                        self._helper_sources(rt, pg, profile)))
                     if rt.obs is not None:
                         rt.span("gather", "repair", t_gather, env.now,
                                 chunk=i, nbytes=profile.total_read_bytes)
@@ -554,7 +615,8 @@ class RCStor:
         chunks = [(c, n) for c, n in zip(placement.chunks, overlaps)
                   if n > 0 or (c.needs_repair is False and self._scalar_rebuild
                                and range_has_missing)]
-        server_nic = rt.nics[int(rt.rng.integers(self.config.n_nodes))]
+        server_node = self._gather_node(
+            rt, pg, int(rt.rng.integers(self.config.n_nodes)))
 
         available_done: dict[int, object] = {}
         per_role: dict[int, int] = {}
@@ -615,7 +677,18 @@ class RCStor:
                                 nbytes=missing_bytes)
                     if not self.ecpipe:
                         t_gather = env.now
-                        yield env.process(server_nic.transfer(missing_bytes))
+                        sources = None
+                        if rt.fabric.tiered:
+                            # Scalar row rebuild hauls the surviving strips
+                            # plus the row-parity strip to the repair server.
+                            node_of = self.config.node_of
+                            sources = [(node_of(pg.disk_ids[role]), nbytes)
+                                       for role, nbytes in per_role.items()]
+                            sources.append(
+                                (node_of(pg.disk_ids[self.config.k]),
+                                 missing_bytes))
+                        yield env.process(rt.fabric.gather(
+                            server_node, missing_bytes, sources))
                         if rt.obs is not None:
                             rt.span("gather", "repair", t_gather, env.now,
                                     nbytes=missing_bytes)
@@ -631,12 +704,18 @@ class RCStor:
                             acc[0] += h.n_ios
                             acc[1] += h.nbytes
                             acc[2] += h.span
+                    gather_sources = None
                     if rt.faults is None:
                         reads = [env.process(rt.disks[pg.disk_ids[role]].read(
                             ios, nbytes, FOREGROUND, span=span))
                             for role, (ios, nbytes, span) in batch.items()]
                         yield env.all_of(reads)
                         gathered_bytes = sum(b for _, b, _s in batch.values())
+                        if rt.fabric.tiered:
+                            node_of = self.config.node_of
+                            gather_sources = [
+                                (node_of(pg.disk_ids[role]), nbytes)
+                                for role, (_i, nbytes, _s) in batch.items()]
                     else:
                         # Aggregate the batch into one synthetic profile so
                         # the fault ladder can re-pick / escalate it whole.
@@ -650,11 +729,14 @@ class RCStor:
                             self._repair_reads_faulted(
                                 rt, pg, batch_profile, False, FOREGROUND)
                         gathered_bytes = batch_profile.total_read_bytes
+                        gather_sources = self._helper_sources(
+                            rt, pg, batch_profile)
                     if rt.obs is not None:
                         rt.span("helper_reads", "repair", t_read, env.now,
                                 nbytes=gathered_bytes)
                     t_gather = env.now
-                    yield env.process(server_nic.transfer(gathered_bytes))
+                    yield env.process(rt.fabric.gather(
+                        server_node, gathered_bytes, gather_sources))
                     if rt.obs is not None:
                         rt.span("gather", "repair", t_gather, env.now,
                                 nbytes=gathered_bytes)
@@ -745,7 +827,7 @@ class RCStor:
                 yield rt.env.timeout(warmup)
             for idx, obj in enumerate(objects):
                 byte_range = ranges[idx] if ranges is not None else None
-                client = client_link(rt.env, self.config.client_gbps)
+                client = rt.client(self.config.client_gbps)
                 result = DegradedReadResult(0.0, 0.0, 0.0, obj.size)
                 t0 = rt.env.now
                 if self.layout.spans_disks:
@@ -878,6 +960,9 @@ class RCStor:
             tasks_escalated=meta["tasks_escalated"],
             tasks_abandoned=meta["tasks_abandoned"],
             hedged_retries=meta["hedged_retries"],
+            tor_bytes=sum(t.bytes_transferred for t in rt.fabric.tors),
+            cross_rack_bytes=(rt.fabric.agg.bytes_transferred
+                              if rt.fabric.agg is not None else 0),
         )
 
     def run_node_recovery(self, node: int, seed: int = 0,
@@ -1086,8 +1171,10 @@ class RCStor:
             rt.span("helper_reads", track, t_task, env.now,
                     nbytes=profile.total_read_bytes)
         t_gather = env.now
-        yield env.process(rt.nics[server_node].transfer(
-            profile.total_read_bytes))
+        yield env.process(rt.fabric.gather(
+            self._gather_node(rt, task.pg, server_node),
+            profile.total_read_bytes,
+            self._helper_sources(rt, task.pg, profile)))
         if rt.obs is not None:
             rt.span("gather", track, t_gather, env.now,
                     nbytes=profile.total_read_bytes)
@@ -1202,8 +1289,10 @@ class RCStor:
                 rt.span("helper_reads", track, t_task, env.now,
                         nbytes=task.profile.total_read_bytes)
             t_gather = env.now
-            yield env.process(rt.nics[server_node].transfer(
-                task.profile.total_read_bytes))
+            yield env.process(rt.fabric.gather(
+                self._gather_node(rt, task.pg, server_node),
+                task.profile.total_read_bytes,
+                self._helper_sources(rt, task.pg, task.profile)))
             if rt.obs is not None:
                 rt.span("gather", track, t_gather, env.now,
                         nbytes=task.profile.total_read_bytes)
@@ -1347,7 +1436,7 @@ class RCStor:
 
         def reader():
             for idx, obj in enumerate(objects):
-                client = client_link(env, self.config.client_gbps)
+                client = rt.client(self.config.client_gbps)
                 result = DegradedReadResult(0.0, 0.0, 0.0, obj.size)
                 t0 = env.now
                 if self.layout.spans_disks:

@@ -32,10 +32,13 @@ class FaultInjector:
     """Replays a fault plan against one measurement's devices."""
 
     def __init__(self, env: Environment, disks: list, nics: list,
-                 plan: FaultPlan, obs=None):
+                 plan: FaultPlan, obs=None, links: dict | None = None):
         self.env = env
         self.disks = disks
         self.nics = nics
+        #: Name -> Link registry (a Fabric's ``links``): how rack-scoped
+        #: events find their target, and the preferred route for nic_slow.
+        self.links = links if links is not None else {}
         self.plan = plan
         self.helper_timeout = plan.helper_timeout
         self.failed_disks: set[int] = set()
@@ -89,7 +92,16 @@ class FaultInjector:
         elif kind == "disk_slow":
             self._slow(self.disks[event.disk], event.factor, event.duration)
         elif kind == "nic_slow":
-            self._slow(self.nics[event.node], event.factor, event.duration)
+            nic = self.links.get(f"nic-{event.node}")
+            self._slow(nic if nic is not None else self.nics[event.node],
+                       event.factor, event.duration)
+        elif kind == "tor_slow":
+            link = self.links.get(f"tor-{event.rack}")
+            if link is None:
+                raise ValueError(
+                    f"tor_slow targets rack {event.rack} but the fabric "
+                    "has no ToR links (single-rack cluster?)")
+            self._slow(link, event.factor, event.duration)
         elif kind == "corrupt":
             self.disks[event.disk].pending_corrupt += event.count
         self.injected.append(event)

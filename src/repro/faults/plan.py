@@ -17,6 +17,10 @@ Event taxonomy (see DESIGN.md "Fault model"):
 ``disk_slow`` / ``nic_slow``
     Service times multiply by ``factor`` for ``duration`` seconds
     (``duration=None`` makes a permanent straggler).
+``tor_slow``
+    A rack's ToR uplink degrades by ``factor`` (congestion, a flapping
+    optic): every cross-rack transfer touching that rack stretches.
+    Needs a tiered fabric (``n_racks > 1``).
 ``corrupt``
     The next ``count`` reads on the disk surface latent corruption
     (``IO_CORRUPT``) instead of data.
@@ -37,11 +41,14 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 KINDS = frozenset(
-    {"disk_crash", "node_crash", "disk_slow", "nic_slow", "corrupt"})
+    {"disk_crash", "node_crash", "disk_slow", "nic_slow", "tor_slow",
+     "corrupt"})
 
-#: Kinds targeting a disk (``disk`` required) vs a node (``node`` required).
+#: Kinds targeting a disk (``disk`` required), a node (``node`` required),
+#: or a rack's switch (``rack`` required).
 _DISK_KINDS = frozenset({"disk_crash", "disk_slow", "corrupt"})
 _NODE_KINDS = frozenset({"node_crash", "nic_slow"})
+_RACK_KINDS = frozenset({"tor_slow"})
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,7 @@ class FaultEvent:
     at_progress: float | None = None
     disk: int | None = None
     node: int | None = None
+    rack: int | None = None
     factor: float = 1.0
     duration: float | None = None
     count: int = 1
@@ -73,6 +81,8 @@ class FaultEvent:
             raise ValueError(f"{self.kind} needs a disk")
         if self.kind in _NODE_KINDS and self.node is None:
             raise ValueError(f"{self.kind} needs a node")
+        if self.kind in _RACK_KINDS and self.rack is None:
+            raise ValueError(f"{self.kind} needs a rack")
         if self.factor < 1.0:
             raise ValueError(f"slow-factor {self.factor} must be >= 1")
         if self.duration is not None and self.duration <= 0:
@@ -257,3 +267,37 @@ class FaultPlan:
                                          disk=disk, factor=factor,
                                          duration=duration))
         return cls(events=tuple(events))
+
+    # ------------------------------------------------------------------
+    # Rack-scoped constructors (need a tiered fabric, n_racks > 1)
+    # ------------------------------------------------------------------
+    @classmethod
+    def tor_slowdown(cls, rack: int, factor: float, at: float = 0.0,
+                     duration: float | None = None,
+                     helper_timeout: float | None = None) -> "FaultPlan":
+        """Degrade one rack's ToR uplink by ``factor`` (windowed or
+        permanent): every cross-rack transfer in or out of the rack
+        stretches, while intra-rack traffic is untouched."""
+        if factor <= 1.0:
+            return cls(helper_timeout=helper_timeout)
+        return cls(events=(FaultEvent("tor_slow", at=at, rack=int(rack),
+                                      factor=factor, duration=duration),),
+                   helper_timeout=helper_timeout)
+
+    @classmethod
+    def rack_burst(cls, nodes: Sequence[int], disks_per_node: int,
+                   seed: int, at: float, spread: float = 1.0,
+                   kind: str = "disk_slow", factor: float = 4.0,
+                   duration: float | None = 10.0) -> "FaultPlan":
+        """A whole-rack burst: every disk of every node in ``nodes``
+        (typically ``config.nodes_in_rack(rack)``) faults within ``spread``
+        seconds of ``at`` — the correlated mode a shared power or switch
+        domain produces.  Composes :meth:`correlated_node_burst` per node
+        with derived per-node seeds, so a rack burst is bit-identical to
+        its per-node bursts replayed together."""
+        plan = cls()
+        for i, node in enumerate(nodes):
+            plan = plan.extended(cls.correlated_node_burst(
+                int(node), disks_per_node, seed + i, at, spread=spread,
+                kind=kind, factor=factor, duration=duration).events)
+        return plan

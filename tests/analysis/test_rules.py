@@ -240,6 +240,8 @@ def test_violation_format():
 @pytest.mark.parametrize("path,layer", [
     ("src/repro/sim/engine.py", "sim"),
     ("src/repro/cluster/rcstor.py", "cluster"),
+    ("src/repro/cluster/placement/rack_aware.py", "placement"),
+    ("src/repro/cluster/placement/__init__.py", "placement"),
     ("src/repro/__init__.py", ""),
     ("repro/codes/clay.py", "codes"),
     ("tools/foo.py", None),

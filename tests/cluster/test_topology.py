@@ -81,3 +81,50 @@ def test_role_of_raises_for_non_member():
     outsider = next(d for d in range(96) if d not in pg)
     with pytest.raises(ValueError):
         pg.role_of(outsider)
+
+
+# ----------------------------------------------------------------------
+# Rack hierarchy
+# ----------------------------------------------------------------------
+def test_default_config_is_flat():
+    c = ClusterConfig()
+    assert c.n_racks == 1
+    assert c.rack_size == 16
+    assert c.rack_of(0) == c.rack_of(15) == 0
+
+
+def test_rack_of_and_nodes_in_rack():
+    c = ClusterConfig(n_nodes=16, n_racks=4, nodes_per_rack=4)
+    assert c.rack_size == 4
+    assert c.rack_of(0) == 0 and c.rack_of(3) == 0
+    assert c.rack_of(4) == 1 and c.rack_of(15) == 3
+    assert list(c.nodes_in_rack(2)) == [8, 9, 10, 11]
+
+
+def test_derived_rack_size_and_short_last_rack():
+    c = ClusterConfig(n_nodes=14, n_racks=4)  # ceil(14/4) = 4 per rack
+    assert c.rack_size == 4
+    assert list(c.nodes_in_rack(3)) == [12, 13]  # last rack is short
+    assert c.rack_of(13) == 3
+
+
+def test_rack_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_racks=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=16, n_racks=2, nodes_per_rack=4)  # 8 < 16
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=16, n_racks=4, tor_gbps=0.0)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=16, n_racks=4, oversubscription=0.5)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=16, n_racks=4, agg_gbps=-1.0)
+
+
+def test_rack_span():
+    config = ClusterConfig(n_nodes=16, n_racks=4, nodes_per_rack=4,
+                           n_pgs=32)
+    cluster = Cluster(config)
+    for pg in cluster.pgs:
+        span = cluster.rack_span(pg)
+        assert 4 <= span <= 4  # 14 nodes of 16 must touch all 4 racks

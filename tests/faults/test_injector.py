@@ -187,3 +187,52 @@ def test_overlapping_slowdowns_compose_and_restore_exactly():
     assert samples[3.0] == 4.9 * 3.3      # both active
     assert samples[6.0] == 3.3            # exactly: first window restored
     assert samples[9.0] == 1.0            # exactly: fully restored
+
+
+def test_tor_slowdown_stretches_cross_rack_transfers():
+    from repro.cluster import ClusterConfig, Fabric
+    from repro.faults import FaultPlan
+
+    env = Environment()
+    config = ClusterConfig(n_nodes=16, n_racks=4, nodes_per_rack=4,
+                           tor_gbps=10.0)
+    fabric = Fabric(env, config)
+    plan = FaultPlan.tor_slowdown(0, factor=3.0, at=0.0, duration=100.0)
+    FaultInjector(env, [], fabric.nics, plan, links=fabric.links)
+    durations = {}
+
+    def timed(name, dst, src):
+        t0 = env.now
+        yield env.process(fabric.transfer(256 * MB, dst, src_node=src))
+        durations[name] = env.now - t0
+
+    def proc():
+        yield env.timeout(0.001)  # let the injector apply the event
+        yield env.process(timed("hit", 5, 0))    # rack 0 -> rack 1
+        yield env.process(timed("clear", 9, 5))  # rack 1 -> rack 2
+
+    env.run(env.process(proc()))
+    assert fabric.tors[0].speed_factor == 3.0
+    assert durations["hit"] > durations["clear"]
+
+
+def test_tor_slow_on_flat_fabric_is_an_error():
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.tor_slowdown(0, factor=2.0, at=0.0)
+    env, _, _, _ = _rig(plan)
+    with pytest.raises(ValueError, match="no ToR links"):
+        env.run(until=1.0)
+
+
+def test_nic_slow_prefers_the_fabric_registry():
+    from repro.cluster import ClusterConfig, Fabric
+    from repro.faults import FaultPlan
+
+    env = Environment()
+    fabric = Fabric(env, ClusterConfig(n_nodes=16))
+    plan = FaultPlan(events=(
+        FaultEvent("nic_slow", at=0.0, node=3, factor=2.0, duration=10.0),))
+    FaultInjector(env, [], [], plan, links=fabric.links)
+    env.run(until=1.0)
+    assert fabric.nics[3].speed_factor == 2.0

@@ -127,3 +127,49 @@ class TestSeededGenerators:
         again = FaultPlan.correlated_node_burst(node=2, disks_per_node=6,
                                                 seed=1, at=5.0, spread=1.0)
         assert plan == again
+
+
+# ----------------------------------------------------------------------
+# Rack-scoped events
+# ----------------------------------------------------------------------
+def test_tor_slow_requires_a_rack():
+    with pytest.raises(ValueError):
+        FaultEvent("tor_slow", at=0.0, factor=2.0)
+    event = FaultEvent("tor_slow", at=0.0, rack=3, factor=2.0, duration=5.0)
+    assert event.rack == 3
+
+
+def test_tor_slowdown_constructor():
+    plan = FaultPlan.tor_slowdown(2, factor=4.0, at=1.0, duration=10.0)
+    (event,) = plan.events
+    assert event.kind == "tor_slow" and event.rack == 2
+    assert event.factor == 4.0 and event.duration == 10.0
+    # A non-degrading factor yields an empty plan (like other builders).
+    assert FaultPlan.tor_slowdown(2, factor=1.0).events == ()
+
+
+def test_tor_slow_round_trips_through_json():
+    plan = FaultPlan.tor_slowdown(5, factor=2.0, duration=3.0)
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_rack_burst_composes_node_bursts():
+    nodes = [4, 5, 6, 7]
+    plan = FaultPlan.rack_burst(nodes, disks_per_node=6, seed=11, at=2.0,
+                                spread=1.0)
+    assert len(plan.events) == 24  # every disk of every node
+    assert {e.kind for e in plan.events} == {"disk_slow"}
+    assert all(2.0 <= e.at <= 3.0 for e in plan.events)
+    # Bit-identical to its per-node bursts replayed together.
+    manual = FaultPlan()
+    for i, node in enumerate(nodes):
+        manual = manual.extended(FaultPlan.correlated_node_burst(
+            node, 6, 11 + i, 2.0, spread=1.0).events)
+    assert plan == manual
+
+
+def test_rack_burst_can_crash():
+    plan = FaultPlan.rack_burst([0, 1], disks_per_node=2, seed=0, at=0.0,
+                                kind="disk_crash")
+    assert {e.kind for e in plan.events} == {"disk_crash"}
+    assert {e.disk for e in plan.events} == {0, 1, 2, 3}
