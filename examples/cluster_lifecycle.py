@@ -23,7 +23,7 @@ from repro.codes import ClayCode
 from repro.core import GeometricLayout
 from repro.experiments.durability import AFR
 from repro.reliability import ReliabilityParams, system_mttdl
-from repro.reliability.markov import durability_nines
+from repro.reliability.markov import durability_nines, mds_fatal_probabilities
 from repro.trace import W1
 
 MB = 1 << 20
@@ -79,7 +79,8 @@ def main() -> None:
 
     # 6. What that buys in durability.
     repair_hours = report.makespan / 3600 * (255 * GB / report.repaired_bytes)
-    params = ReliabilityParams(14, AFR, repair_hours)
+    params = ReliabilityParams(14, AFR, repair_hours,
+                               mds_fatal_probabilities(4))
     mttdl = system_mttdl(params, n_groups=10_000)
     print(f"6. at paper scale that is a {repair_hours:.2f} h repair window: "
           f"~{durability_nines(mttdl):.0f} nines of annual durability "

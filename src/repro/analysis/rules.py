@@ -57,7 +57,11 @@ LAYER_DEPS: dict[str, frozenset] = {
     "core": frozenset({"core", "codes", "gf"}),
     "trace": frozenset({"trace"}),
     "obs": frozenset({"obs"}),
-    "reliability": frozenset({"reliability"}),
+    # The fleet durability engine runs trials on the sim engine, reuses
+    # the fault-plan generators, and enumerates PGs through the cluster
+    # shape/placement registry; the analytic chain stays dependency-free.
+    "reliability": frozenset({"reliability", "sim", "faults", "cluster",
+                              "placement"}),
     # Fault plans/injectors touch only the engine and device fault state.
     "faults": frozenset({"faults", "sim"}),
     # Placement policies see only the cluster *shape* types
@@ -76,8 +80,8 @@ LAYER_DEPS: dict[str, frozenset] = {
     # bench back; it sits beside experiments at the top of the DAG.  It may
     # time the analysis engine too (simlint cold/warm benchmarks).
     "bench": frozenset({"analysis", "bench", "cluster", "codes", "core",
-                        "experiments", "gf", "obs", "placement", "runner",
-                        "sim"}),
+                        "experiments", "gf", "obs", "placement",
+                        "reliability", "runner", "sim"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset({

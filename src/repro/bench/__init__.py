@@ -37,8 +37,9 @@ __all__ = [
 
 
 def all_specs() -> list["BenchSpec"]:
-    """Every benchmark in the suite: calibration, micro, fabric, lint,
-    macro."""
-    from repro.bench import fabric, lint, macro, micro
+    """Every benchmark in the suite: calibration, micro, fabric,
+    reliability, lint, macro."""
+    from repro.bench import fabric, lint, macro, micro, reliability
 
-    return micro.specs() + fabric.specs() + lint.specs() + macro.specs()
+    return (micro.specs() + fabric.specs() + reliability.specs()
+            + lint.specs() + macro.specs())

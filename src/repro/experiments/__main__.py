@@ -207,6 +207,18 @@ def spec_placement_matrix(args):
             placement_matrix.render)
 
 
+def spec_durability_frontier(args):
+    from repro.experiments import durability_frontier
+
+    policies = (tuple(p for p in args.policies.split(",") if p)
+                if args.policies else None)
+    return (durability_frontier.scenarios(
+        n_objects=args.n_objects, policies=policies,
+        n_disks=args.fleet_disks, years=args.fleet_years,
+        reps=args.reps, n_trials=args.trials),
+        durability_frontier.render)
+
+
 SPECS = {
     "table1": spec_table1, "table2": spec_table2, "table3": spec_table3,
     "table4": spec_table4, "table5": spec_table5,
@@ -218,13 +230,14 @@ SPECS = {
     "durability": spec_durability,
     "chaos-tail": spec_chaos_tail, "chaos-recovery": spec_chaos_recovery,
     "placement-matrix": spec_placement_matrix,
+    "durability-frontier": spec_durability_frontier,
 }
 
 #: Experiments beyond the paper's own tables and figures.  ``all`` is the
 #: paper artifact set, pinned byte-for-byte by
 #: ``results/expected_all_300.json.gz`` — extensions run only when named
 #: explicitly.
-EXTENSIONS = frozenset({"placement-matrix"})
+EXTENSIONS = frozenset({"placement-matrix", "durability-frontier"})
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -249,9 +262,22 @@ def _parser() -> argparse.ArgumentParser:
                         help="chaos-tail: sweep only this straggler "
                              "slow-factor instead of the default grid")
     parser.add_argument("--policies", metavar="A,B,...", default=None,
-                        help="placement-matrix: comma-separated placement "
-                             "policies to sweep instead of all registered "
-                             "ones (flat_random,rack_aware,copyset)")
+                        help="placement-matrix / durability-frontier: "
+                             "comma-separated placement policies to sweep "
+                             "instead of the experiment's default set "
+                             "(flat_random,rack_aware,copyset)")
+    parser.add_argument("--fleet-disks", type=int, default=None,
+                        help="durability-frontier: fleet size in disks "
+                             "(default 10240; multiple of 8)")
+    parser.add_argument("--fleet-years", type=float, default=None,
+                        help="durability-frontier: simulated years per "
+                             "Monte-Carlo trial (default 10)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="durability-frontier: seed-group repetitions "
+                             "of the whole grid (default 3)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="durability-frontier: Monte-Carlo trials per "
+                             "grid point and repair speed (default 2)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run scenario units on N worker processes "
                              "(identical rows for any N)")

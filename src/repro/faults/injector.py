@@ -43,6 +43,13 @@ class FaultInjector:
         self.helper_timeout = plan.helper_timeout
         self.failed_disks: set[int] = set()
         self.injected: list[FaultEvent] = []
+        #: disk id -> latent errors injected but not yet scrubbed away.
+        #: Reads may consume them first (surfacing IO_CORRUPT); a scrub
+        #: clears whatever is still pending, so the two discovery paths
+        #: race exactly as the durability model describes.
+        self.latent_errors: dict[int, int] = {}
+        #: Total latent errors a scrub repaired before any read hit them.
+        self.scrubbed_errors = 0
         self._active_slowdowns: dict[int, list[float]] = {}
         self._on_disk_failure: list[Callable[[int], None]] = []
         self._progress_pending = list(plan.progress_events)
@@ -104,6 +111,16 @@ class FaultInjector:
             self._slow(link, event.factor, event.duration)
         elif kind == "corrupt":
             self.disks[event.disk].pending_corrupt += event.count
+        elif kind == "latent_error":
+            self.disks[event.disk].pending_corrupt += event.count
+            self.latent_errors[event.disk] = \
+                self.latent_errors.get(event.disk, 0) + event.count
+        elif kind == "scrub":
+            disk = self.disks[event.disk]
+            hidden = self.latent_errors.pop(event.disk, 0)
+            cleared = min(hidden, disk.pending_corrupt)
+            disk.pending_corrupt -= cleared
+            self.scrubbed_errors += cleared
         self.injected.append(event)
         if self._counter is not None:
             self._counter.inc()

@@ -24,6 +24,16 @@ Event taxonomy (see DESIGN.md "Fault model"):
 ``corrupt``
     The next ``count`` reads on the disk surface latent corruption
     (``IO_CORRUPT``) instead of data.
+``latent_error``
+    ``count`` *hidden* sector errors land on the disk.  Like ``corrupt``
+    they poison the next reads — but the injector also remembers them as
+    undiscovered, so a later ``scrub`` event can find and repair them
+    before any read trips over them (the durability model's
+    scrub-vs-repair-read race; see DESIGN.md "Durability model").
+``scrub``
+    A verification pass over the disk: every latent error still hidden on
+    it (injected by ``latent_error`` and not yet consumed by a read) is
+    surfaced and repaired in place, cancelling its pending ``IO_CORRUPT``.
 
 ``at_progress`` events (exactly one of ``at`` / ``at_progress`` must be
 set) fire when a recovery run crosses the given completed-weight fraction —
@@ -42,11 +52,12 @@ import numpy as np
 
 KINDS = frozenset(
     {"disk_crash", "node_crash", "disk_slow", "nic_slow", "tor_slow",
-     "corrupt"})
+     "corrupt", "latent_error", "scrub"})
 
 #: Kinds targeting a disk (``disk`` required), a node (``node`` required),
 #: or a rack's switch (``rack`` required).
-_DISK_KINDS = frozenset({"disk_crash", "disk_slow", "corrupt"})
+_DISK_KINDS = frozenset({"disk_crash", "disk_slow", "corrupt",
+                         "latent_error", "scrub"})
 _NODE_KINDS = frozenset({"node_crash", "nic_slow"})
 _RACK_KINDS = frozenset({"tor_slow"})
 
@@ -301,3 +312,49 @@ class FaultPlan:
                 int(node), disks_per_node, seed + i, at, spread=spread,
                 kind=kind, factor=factor, duration=duration).events)
         return plan
+
+    # ------------------------------------------------------------------
+    # Latent-error / scrub constructors (the durability model's inputs)
+    # ------------------------------------------------------------------
+    @classmethod
+    def latent_errors(cls, rate: float, horizon: float, n_disks: int,
+                      seed: int) -> "FaultPlan":
+        """Hidden sector errors with exponential inter-arrival times.
+
+        ``rate`` is arrivals per sim second across the whole fleet;
+        arrivals past ``horizon`` are dropped.  Each error lands on a
+        uniformly random disk and stays hidden until a read trips over it
+        or a ``scrub`` event repairs it.
+        """
+        if rate <= 0 or horizon <= 0:
+            raise ValueError("rate and horizon must be positive")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t > horizon:
+                break
+            disk = int(rng.integers(n_disks))
+            events.append(FaultEvent("latent_error", at=t, disk=disk))
+        return cls(events=tuple(events))
+
+    @classmethod
+    def scrub_schedule(cls, n_disks: int, interval: float, horizon: float,
+                       seed: int = 0) -> "FaultPlan":
+        """Periodic per-disk scrub passes with seeded phase offsets.
+
+        Every disk is scrubbed each ``interval`` seconds starting from a
+        uniformly random phase in ``[0, interval)`` — staggered so the
+        fleet's scrub load is flat, not a synchronised thundering herd.
+        """
+        if interval <= 0 or horizon <= 0:
+            raise ValueError("interval and horizon must be positive")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for disk in range(n_disks):
+            t = float(rng.uniform(0.0, interval))
+            while t <= horizon:
+                events.append(FaultEvent("scrub", at=t, disk=disk))
+                t += interval
+        return cls(events=tuple(events))

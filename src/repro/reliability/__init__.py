@@ -2,24 +2,55 @@
 
 The paper motivates recovery efficiency with "efficient recovery can reduce
 MTTL, increasing the durability of the system".  This package quantifies
-that: a continuous-time Markov chain over failure states gives the mean
-time to data loss of one placement group, fed by the erasure code's exact
-fatal-failure combinatorics (non-MDS codes like LRC can die before
-exhausting r failures) and by recovery times measured on the simulator.
+that twice over:
+
+* :mod:`repro.reliability.markov` — a continuous-time Markov chain over
+  failure states gives the mean time to data loss of one placement group,
+  fed by the erasure code's exact fatal-failure combinatorics (non-MDS
+  codes like LRC can die before exhausting r failures) and by recovery
+  times measured on the simulator.
+* :mod:`repro.reliability.fleet` — an event-driven Monte-Carlo fleet
+  simulation (10k+ disks, multi-year) adds what the chain cannot express:
+  latent sector errors raced by scrubbing against repair reads,
+  correlated rack bursts and ToR outages, and a risk-aware repair queue.
+  :mod:`repro.reliability.estimators` turns its trial counts into MTTDL
+  and loss-probability estimates with 95% confidence intervals.
 """
 
+from repro.reliability.estimators import (
+    LossProbability,
+    MttdlEstimate,
+    estimate_mttdl,
+    loss_probability,
+)
+from repro.reliability.fleet import (
+    FleetParams,
+    FleetSim,
+    TrialResult,
+    independent_pgs,
+)
 from repro.reliability.markov import (
     ReliabilityParams,
     annual_durability,
     fatal_probabilities_for_code,
+    mds_fatal_probabilities,
     mttdl_group,
     system_mttdl,
 )
 
 __all__ = [
+    "FleetParams",
+    "FleetSim",
+    "LossProbability",
+    "MttdlEstimate",
     "ReliabilityParams",
+    "TrialResult",
     "annual_durability",
+    "estimate_mttdl",
     "fatal_probabilities_for_code",
+    "independent_pgs",
+    "loss_probability",
+    "mds_fatal_probabilities",
     "mttdl_group",
     "system_mttdl",
 ]

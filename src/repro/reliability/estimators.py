@@ -1,0 +1,141 @@
+"""Confidence intervals for Monte-Carlo durability estimates.
+
+The fleet simulator observes *counts* — data losses over simulated
+exposure — so the two estimands get the two classic interval families:
+
+* MTTDL: losses are (approximately) a Poisson process at system scale,
+  so the loss *count* gets a Garwood interval (exact chi-square bounds,
+  here via the Wilson–Hilferty cube approximation: accurate to ~1% for
+  df >= 10, and at the small-df lower tail it *under*-shoots the exact
+  quantile — widening the interval, the conservative direction) and the
+  exposure/count ratio inverts it.  Zero observed losses yields a
+  one-sided bound: the MTTDL interval is ``[exposure / upper_count,
+  inf)``.
+* P(data loss within a horizon): each trial is a Bernoulli draw, so the
+  loss fraction gets a Wilson score interval — well-behaved at 0 and 1,
+  where the Wald interval collapses.
+
+No SciPy: the only special function needed is the chi-square quantile,
+and Wilson–Hilferty reduces it to the normal quantile, which for a fixed
+confidence level is a constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.reliability.markov import HOURS_PER_YEAR
+
+#: Two-sided 95%: the only confidence level the estimators ship with —
+#: one canonical number beats a half-tested alpha parameter.
+Z_95 = 1.959963984540054
+
+
+def chi2_quantile(p: float, df: float) -> float:
+    """Wilson–Hilferty approximation of the chi-square quantile.
+
+    ``(X/df)^(1/3)`` is approximately normal with mean ``1 - 2/(9 df)``
+    and variance ``2/(9 df)``; inverting the cube gives the quantile.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p {p} not in (0, 1)")
+    if df <= 0:
+        raise ValueError(f"df {df} must be positive")
+    z = -Z_95 if p < 0.5 else Z_95
+    if abs(p - 0.025) > 1e-9 and abs(p - 0.975) > 1e-9:
+        raise ValueError("only the 95% level (p = 0.025 / 0.975) is wired")
+    h = 2.0 / (9.0 * df)
+    return df * (1.0 - h + z * math.sqrt(h)) ** 3
+
+
+def poisson_count_interval(k: int) -> tuple[float, float]:
+    """Garwood 95% interval for a Poisson mean given an observed count."""
+    if k < 0:
+        raise ValueError("negative count")
+    lo = 0.0 if k == 0 else 0.5 * chi2_quantile(0.025, 2 * k)
+    hi = 0.5 * chi2_quantile(0.975, 2 * k + 2)
+    return lo, hi
+
+
+def wilson_interval(successes: int, trials: int) -> tuple[float, float]:
+    """Wilson score 95% interval for a Bernoulli proportion."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes outside [0, trials]")
+    z2 = Z_95 * Z_95
+    p = successes / trials
+    denom = 1.0 + z2 / trials
+    centre = p + z2 / (2 * trials)
+    spread = Z_95 * math.sqrt(p * (1 - p) / trials
+                              + z2 / (4 * trials * trials))
+    return max(0.0, (centre - spread) / denom), \
+        min(1.0, (centre + spread) / denom)
+
+
+@dataclass(frozen=True)
+class MttdlEstimate:
+    """System MTTDL from pooled Monte-Carlo exposure."""
+
+    mttdl_hours: float       # inf when no loss was observed
+    lo_hours: float          # 95% lower bound (always finite)
+    hi_hours: float          # 95% upper bound (inf when n_losses == 0)
+    n_losses: int
+    exposure_hours: float    # pooled system exposure across trials
+
+    def contains(self, hours: float) -> bool:
+        """Whether ``hours`` lies inside the 95% interval."""
+        return self.lo_hours <= hours <= self.hi_hours
+
+
+@dataclass(frozen=True)
+class LossProbability:
+    """P(at least one data loss within the horizon), across trials."""
+
+    p: float
+    lo: float
+    hi: float
+    n_lost: int
+    n_trials: int
+    horizon_years: float
+
+
+def estimate_mttdl(losses: Sequence[int],
+                   exposure_years: Sequence[float]) -> MttdlEstimate:
+    """Pool per-trial loss counts and exposures into one MTTDL estimate.
+
+    Pooling before dividing (rather than averaging per-trial ratios) is
+    the maximum-likelihood estimator for a Poisson rate and stays defined
+    when individual trials observe zero losses.
+    """
+    if len(losses) != len(exposure_years) or not losses:
+        raise ValueError("need matching, non-empty losses and exposures")
+    k = int(sum(losses))
+    hours = float(sum(exposure_years)) * HOURS_PER_YEAR
+    if hours <= 0:
+        raise ValueError("total exposure must be positive")
+    k_lo, k_hi = poisson_count_interval(k)
+    return MttdlEstimate(
+        mttdl_hours=hours / k if k else float("inf"),
+        lo_hours=hours / k_hi,
+        hi_hours=hours / k_lo if k_lo > 0 else float("inf"),
+        n_losses=k,
+        exposure_hours=hours)
+
+
+def loss_probability(first_loss_years: Sequence[float | None],
+                     horizon_years: float) -> LossProbability:
+    """P(data loss within ``horizon_years``) from per-trial first-loss
+    times (``None`` = the trial never lost data)."""
+    if horizon_years <= 0:
+        raise ValueError("horizon must be positive")
+    n = len(first_loss_years)
+    if n < 1:
+        raise ValueError("need at least one trial")
+    lost = sum(1 for t in first_loss_years
+               if t is not None and t <= horizon_years)
+    lo, hi = wilson_interval(lost, n)
+    return LossProbability(p=lost / n, lo=lo, hi=hi, n_lost=lost,
+                           n_trials=n, horizon_years=horizon_years)

@@ -22,7 +22,7 @@ independent placement groups (rare-event approximation).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -41,7 +41,12 @@ class ReliabilityParams:
     repair_hours: float
     #: q[i] = P(the i-th concurrent failure is fatal), i = 1..len(q);
     #: the last entry must be 1.0 (the tolerance is exhausted there).
-    fatal_probabilities: Sequence[float] = field(default=(0.0, 0.0, 0.0, 0.0, 1.0))
+    #: Required — derive it from the code's combinatorics
+    #: (:meth:`for_code`) or state it explicitly
+    #: (:func:`mds_fatal_probabilities` for any MDS code), so a scheme
+    #: with different tolerance can never silently inherit MDS-4
+    #: durability.
+    fatal_probabilities: Sequence[float]
 
     def __post_init__(self):
         if self.n_disks < 2 or self.afr <= 0 or self.repair_hours <= 0:
@@ -58,6 +63,23 @@ class ReliabilityParams:
     def failure_rate(self) -> float:
         """Per-disk failures per hour."""
         return self.afr / HOURS_PER_YEAR
+
+    @classmethod
+    def for_code(cls, code, n_disks: int, afr: float,
+                 repair_hours: float) -> "ReliabilityParams":
+        """Params whose fatal-pattern vector is derived from ``code``
+        via its exact combinatorics (:func:`fatal_probabilities_for_code`).
+        """
+        return cls(n_disks=n_disks, afr=afr, repair_hours=repair_hours,
+                   fatal_probabilities=tuple(
+                       fatal_probabilities_for_code(code)))
+
+
+def mds_fatal_probabilities(r: int) -> tuple[float, ...]:
+    """The q-vector of any MDS code tolerating ``r`` failures."""
+    if r < 1:
+        raise ValueError("an MDS code tolerates at least one failure")
+    return (0.0,) * r + (1.0,)
 
 
 def fatal_probabilities_for_code(code) -> list[float]:

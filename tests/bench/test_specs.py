@@ -53,3 +53,14 @@ def test_micro_stripe_fixture_is_consistent():
     decoded = micro._RS.decode(micro._AVAILABLE, erased, micro._CHUNK)
     for node in erased:
         assert np.array_equal(decoded[node], micro._STRIPE[node])
+
+
+def test_reliability_spec_bodies_run():
+    from repro.bench import reliability
+
+    assert reliability._markov_sweep() > 0
+    assert reliability._fleet_topology() == reliability._CONFIG.n_pgs
+    assert reliability._fleet_trial() >= 0
+    specs = reliability.specs()
+    assert [s.group for s in specs] == ["reliability"] * 3
+    assert all(s.units > 1 for s in specs)

@@ -1,0 +1,134 @@
+"""Confidence-interval estimators: chi-square reference values, Garwood
+and Wilson intervals, and the pooled MTTDL estimate."""
+
+import math
+
+import pytest
+
+from repro.reliability import (
+    LossProbability,
+    MttdlEstimate,
+    estimate_mttdl,
+    loss_probability,
+)
+from repro.reliability.estimators import (
+    chi2_quantile,
+    poisson_count_interval,
+    wilson_interval,
+)
+from repro.reliability.markov import HOURS_PER_YEAR
+
+
+# Exact chi-square quantiles (R: qchisq(p, df)) the Wilson–Hilferty
+# cube must reproduce within a couple of percent.
+CHI2_REFERENCE = [
+    (0.975, 2, 7.3778),
+    (0.975, 10, 20.4832),
+    (0.025, 10, 3.2470),
+    (0.975, 40, 59.3417),
+    (0.025, 40, 24.4330),
+]
+
+
+@pytest.mark.parametrize("p,df,exact", CHI2_REFERENCE)
+def test_chi2_quantile_tracks_exact_values(p, df, exact):
+    rel = abs(chi2_quantile(p, df) - exact) / exact
+    assert rel < 0.03, f"chi2({p}, {df}) off by {rel:.1%}"
+
+
+def test_chi2_quantile_small_df_lower_tail_errs_conservative():
+    """At df=2 the cube underestimates the lower-tail quantile (exact
+    0.0506), which *widens* the Garwood interval — the safe direction."""
+    assert 0.0 < chi2_quantile(0.025, 2) < 0.0506
+
+
+def test_chi2_quantile_validation():
+    with pytest.raises(ValueError, match="not in"):
+        chi2_quantile(0.0, 2)
+    with pytest.raises(ValueError, match="must be positive"):
+        chi2_quantile(0.975, 0)
+    with pytest.raises(ValueError, match="95% level"):
+        chi2_quantile(0.5, 2)
+
+
+def test_poisson_interval_zero_count_is_one_sided():
+    lo, hi = poisson_count_interval(0)
+    assert lo == 0.0
+    # Garwood upper bound for k=0 is chi2(0.975, 2)/2 ~ 3.69.
+    assert hi == pytest.approx(3.69, rel=0.05)
+    with pytest.raises(ValueError):
+        poisson_count_interval(-1)
+
+
+def test_poisson_interval_brackets_the_count():
+    for k in (1, 5, 100, 1000):
+        lo, hi = poisson_count_interval(k)
+        assert 0 < lo < k < hi
+    # Large-count interval converges to the normal k +- 1.96 sqrt(k).
+    lo, hi = poisson_count_interval(10_000)
+    assert lo == pytest.approx(10_000 - 1.96 * 100, rel=0.01)
+    assert hi == pytest.approx(10_000 + 1.96 * 100, rel=0.01)
+
+
+def test_wilson_interval_reference_values():
+    # Wilson 95% for 0/10: [0, 0.2775]; for 5/10: [0.2366, 0.7634].
+    lo, hi = wilson_interval(0, 10)
+    assert lo == 0.0
+    assert hi == pytest.approx(0.2775, abs=1e-3)
+    lo, hi = wilson_interval(5, 10)
+    assert lo == pytest.approx(0.2366, abs=1e-3)
+    assert hi == pytest.approx(0.7634, abs=1e-3)
+    lo, hi = wilson_interval(10, 10)
+    assert hi == pytest.approx(1.0) and lo > 0.65
+
+
+def test_wilson_interval_validation():
+    with pytest.raises(ValueError):
+        wilson_interval(0, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(3, 2)
+
+
+def test_estimate_mttdl_pools_before_dividing():
+    """Pooled MLE: total exposure / total losses, not the mean of ratios
+    (which a zero-loss trial would break)."""
+    est = estimate_mttdl([4, 0, 2], [10.0, 10.0, 10.0])
+    assert isinstance(est, MttdlEstimate)
+    assert est.n_losses == 6
+    assert est.exposure_hours == pytest.approx(30.0 * HOURS_PER_YEAR)
+    assert est.mttdl_hours == pytest.approx(30.0 * HOURS_PER_YEAR / 6)
+    assert est.lo_hours < est.mttdl_hours < est.hi_hours
+    assert est.contains(est.mttdl_hours)
+    assert not est.contains(est.hi_hours * 2)
+
+
+def test_estimate_mttdl_zero_losses_is_a_lower_bound():
+    est = estimate_mttdl([0, 0], [5.0, 5.0])
+    assert est.mttdl_hours == math.inf
+    assert est.hi_hours == math.inf
+    assert est.lo_hours > 0
+    assert est.contains(1e300)
+
+
+def test_estimate_mttdl_validation():
+    with pytest.raises(ValueError):
+        estimate_mttdl([], [])
+    with pytest.raises(ValueError):
+        estimate_mttdl([1, 2], [10.0])
+    with pytest.raises(ValueError):
+        estimate_mttdl([1], [0.0])
+
+
+def test_loss_probability_counts_within_horizon():
+    lp = loss_probability([2.0, None, 15.0, 9.9], horizon_years=10.0)
+    assert isinstance(lp, LossProbability)
+    assert lp.n_lost == 2 and lp.n_trials == 4
+    assert lp.p == 0.5
+    assert 0.0 < lp.lo < 0.5 < lp.hi < 1.0
+
+
+def test_loss_probability_validation():
+    with pytest.raises(ValueError):
+        loss_probability([1.0], horizon_years=0.0)
+    with pytest.raises(ValueError):
+        loss_probability([], horizon_years=10.0)

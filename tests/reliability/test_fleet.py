@@ -1,0 +1,200 @@
+"""Fleet Monte-Carlo durability engine: cross-validation against the
+Markov chain, determinism, and the fault-model mechanics."""
+
+import pytest
+
+from repro.cluster.topology import ClusterConfig
+from repro.obs import Observer
+from repro.reliability import (
+    FleetParams,
+    FleetSim,
+    ReliabilityParams,
+    estimate_mttdl,
+    independent_pgs,
+    mds_fatal_probabilities,
+    system_mttdl,
+)
+
+
+def simple_params(**overrides):
+    base = dict(fatal_probabilities=(0.0, 1.0), years=2.0, afr=0.5,
+                repair_hours=24.0, lse_rate=0.0, scrub_interval_hours=0.0)
+    base.update(overrides)
+    return FleetParams(**base)
+
+
+# ----------------------------------------------------------------------
+# The acceptance test: MC vs Markov under the chain's own assumptions
+# ----------------------------------------------------------------------
+def test_mc_mttdl_matches_markov_within_95ci():
+    """With independent groups, exponential lifetimes, fixed repair time
+    and no latent errors — exactly the Markov chain's world — the
+    simulated MTTDL must bracket the analytic one."""
+    n_groups, group_size = 150, 8
+    afr, repair_hours = 0.6, 30.0
+    q = (0.0, 1.0)
+    sim = FleetSim(independent_pgs(n_groups, group_size),
+                   n_groups * group_size)
+    params = FleetParams(fatal_probabilities=q, years=10.0, afr=afr,
+                         repair_hours=repair_hours, lse_rate=0.0,
+                         scrub_interval_hours=0.0)
+    results = sim.run_trials(params, seed=12345, n_trials=10)
+    est = estimate_mttdl([r.n_losses for r in results],
+                         [r.years for r in results])
+    assert est.n_losses > 100, "the regime must actually observe losses"
+    markov = system_mttdl(
+        ReliabilityParams(group_size, afr, repair_hours, q), n_groups)
+    assert est.contains(markov), \
+        f"MC [{est.lo_hours:.0f}, {est.hi_hours:.0f}] excludes {markov:.0f}"
+
+
+def test_trials_are_deterministic_per_seed():
+    sim = FleetSim(independent_pgs(20, 4), 80)
+    params = simple_params()
+    a = sim.run_trial(params, 42)
+    b = sim.run_trial(params, 42)
+    c = sim.run_trial(params, 43)
+    assert a == b
+    assert a != c
+
+
+def test_every_failure_fatal_counts_each_group_hit():
+    """q = (1.0,): the first failure in a PG always loses data, so losses
+    equal the group-hits of disk failures and nothing stays damaged."""
+    sim = FleetSim(independent_pgs(10, 4), 40)
+    r = sim.run_trial(simple_params(fatal_probabilities=(1.0,)), 5)
+    assert r.disk_failures > 0
+    assert r.n_losses == r.disk_failures  # disjoint PGs: one hit each
+    assert r.peak_damaged_pgs == 0
+    assert r.first_loss_hours == pytest.approx(min(r.loss_hours))
+
+
+def test_scrubbing_clears_latent_errors():
+    sim = FleetSim(independent_pgs(25, 4), 100)
+    on = sim.run_trial(simple_params(afr=0.05, lse_rate=2.0,
+                                     scrub_interval_hours=168.0), 9)
+    off = sim.run_trial(simple_params(afr=0.05, lse_rate=2.0,
+                                      scrub_interval_hours=0.0), 9)
+    assert on.lse_arrivals > 0
+    assert on.lse_scrubbed > 0
+    assert on.lse_scrubbed <= on.lse_arrivals
+    assert off.lse_scrubbed == 0
+
+
+def test_correlated_faults_require_a_rack_map():
+    sim = FleetSim(independent_pgs(4, 4), 16)
+    with pytest.raises(ValueError, match="multi-rack"):
+        sim.run_trial(simple_params(rack_burst_rate=1.0), 0)
+    with pytest.raises(ValueError, match="multi-rack"):
+        sim.run_trial(simple_params(tor_outage_rate=1.0), 0)
+
+
+def test_from_cluster_runs_bursts_and_outages():
+    config = ClusterConfig(n_nodes=16, disks_per_node=4, n_racks=2,
+                           nodes_per_rack=8, n_pgs=32,
+                           placement="rack_aware", pg_seed=3)
+    sim = FleetSim.from_cluster(config)
+    assert sim.n_disks == 64 and sim.n_pgs == 32
+    assert sim.disk_racks is not None
+    r = sim.run_trial(simple_params(
+        afr=0.05, rack_burst_rate=3.0, burst_node_fraction=0.5,
+        tor_outage_rate=3.0, tor_outage_hours=48.0, node_afr=0.1,
+        repair_streams=4, years=4.0), 21)
+    assert r.rack_bursts > 0
+    assert r.tor_outages > 0
+    assert r.node_failures > 0
+    assert r.disk_failures > 0
+
+
+def test_risk_aware_and_fifo_queues_both_drain():
+    """Throttled repair must complete rebuilds in both orderings, and a
+    saturated queue accumulates wait time."""
+    sim = FleetSim(independent_pgs(30, 4), 120)
+    for risk_aware in (True, False):
+        r = sim.run_trial(simple_params(
+            afr=1.5, repair_hours=200.0, repair_streams=2,
+            risk_aware=risk_aware, years=3.0), 11)
+        assert r.repairs_completed > 0
+        assert r.repair_wait_hours > 0
+
+
+def test_weibull_wearout_matches_exponential_mean_failure_count():
+    """Shape 3 wear-out keeps mean lifetime 1/afr, so the failure count
+    stays in the same ballpark as the memoryless draw."""
+    sim = FleetSim(independent_pgs(50, 4), 200)
+    exp = sim.run_trial(simple_params(afr=0.4, years=10.0), 3)
+    wei = sim.run_trial(simple_params(afr=0.4, years=10.0,
+                                      weibull_shape=3.0), 3)
+    assert wei.disk_failures > 0
+    assert 0.5 < wei.disk_failures / exp.disk_failures < 2.0
+
+
+def test_observer_sees_losses_and_incidents():
+    obs = Observer()
+    sim = FleetSim(independent_pgs(10, 4), 40, obs=obs)
+    r = sim.run_trial(simple_params(fatal_probabilities=(1.0,), afr=1.0), 2)
+    assert r.n_losses > 0
+    assert obs.metrics.counter("fleet.data_losses").value == r.n_losses
+    assert obs.metrics.counter("fleet.disk_failures").value \
+        == r.disk_failures
+
+
+# ----------------------------------------------------------------------
+# Parameters and topology plumbing
+# ----------------------------------------------------------------------
+def test_params_doc_round_trip():
+    params = simple_params(weibull_shape=2.0, repair_streams=8,
+                           risk_aware=False)
+    doc = params.to_doc()
+    assert doc["fatal_probabilities"] == [0.0, 1.0]
+    assert FleetParams.from_doc(doc) == params
+
+
+def test_params_validation():
+    with pytest.raises(ValueError, match="end at 1.0"):
+        simple_params(fatal_probabilities=(0.0, 0.5))
+    with pytest.raises(ValueError, match="must be positive"):
+        simple_params(years=0.0)
+    with pytest.raises(ValueError, match="weibull_shape"):
+        simple_params(weibull_shape=-1.0)
+    with pytest.raises(ValueError, match=">= 0"):
+        simple_params(lse_rate=-0.1)
+    with pytest.raises(ValueError, match="burst_node_fraction"):
+        simple_params(burst_node_fraction=0.0)
+    with pytest.raises(ValueError, match="tor_repair_factor"):
+        simple_params(tor_repair_factor=0.5)
+
+
+def test_independent_pgs_are_disjoint():
+    pgs = independent_pgs(5, 3)
+    flat = [d for pg in pgs for d in pg]
+    assert len(flat) == len(set(flat)) == 15
+    with pytest.raises(ValueError):
+        independent_pgs(0, 3)
+    with pytest.raises(ValueError):
+        independent_pgs(3, 1)
+
+
+def test_fleet_sim_rejects_bad_topology():
+    with pytest.raises(ValueError, match="at least two disks"):
+        FleetSim([(0, 1)], 1)
+    with pytest.raises(ValueError, match="at least one placement group"):
+        FleetSim([], 4)
+    with pytest.raises(ValueError, match="outside the fleet"):
+        FleetSim([(0, 9)], 4)
+
+
+def test_mds_fatal_probabilities():
+    assert mds_fatal_probabilities(4) == (0.0, 0.0, 0.0, 0.0, 1.0)
+    assert mds_fatal_probabilities(1) == (0.0, 1.0)
+    with pytest.raises(ValueError):
+        mds_fatal_probabilities(0)
+
+
+def test_reliability_params_for_code_uses_exact_q():
+    from repro.codes import RSCode
+
+    p = ReliabilityParams.for_code(RSCode(10, 4), n_disks=14, afr=0.02,
+                                   repair_hours=24.0)
+    assert p.fatal_probabilities == (0.0, 0.0, 0.0, 0.0, 1.0)
+    assert p.n_disks == 14
