@@ -42,7 +42,7 @@ from repro.analysis.linter import Fix, Violation
 #: Layers whose behaviour determines simulated numbers.
 DETERMINISTIC_LAYERS = frozenset(
     {"sim", "cluster", "core", "trace", "codes", "gf", "faults",
-     "reliability", "placement"})
+     "reliability", "placement", "traffic"})
 
 #: Layers where process generators live.
 PROCESS_LAYERS = frozenset({"sim", "cluster", "core", "faults"})
@@ -67,6 +67,10 @@ LAYER_DEPS: dict[str, frozenset] = {
     # Placement policies see only the cluster *shape* types
     # (repro.cluster.topology) — never disks, networks, or runtimes.
     "placement": frozenset({"placement", "cluster"}),
+    # Traffic generation is pure sampling over numpy generators; the
+    # serving side (repro.cluster.qos) lives in cluster, so the arrow
+    # points cluster-ward only from the layers above.
+    "traffic": frozenset({"traffic"}),
     "cluster": frozenset({"cluster", "codes", "core", "faults", "gf", "obs",
                           "placement", "sim", "trace"}),
     "analysis": frozenset({"analysis", "codes", "gf", "obs", "sim"}),
@@ -75,13 +79,14 @@ LAYER_DEPS: dict[str, frozenset] = {
     "runner": frozenset({"runner", "obs", "analysis", ""}),
     "experiments": frozenset({"experiments", "analysis", "cluster", "codes",
                               "core", "faults", "gf", "obs", "placement",
-                              "reliability", "runner", "sim", "trace"}),
+                              "reliability", "runner", "sim", "trace",
+                              "traffic"}),
     # The benchmark harness drives everything below it but nothing imports
     # bench back; it sits beside experiments at the top of the DAG.  It may
     # time the analysis engine too (simlint cold/warm benchmarks).
     "bench": frozenset({"analysis", "bench", "cluster", "codes", "core",
                         "experiments", "gf", "obs", "placement",
-                        "reliability", "runner", "sim"}),
+                        "reliability", "runner", "sim", "traffic"}),
 }
 
 _WALL_CLOCK_CALLS = frozenset({

@@ -38,8 +38,8 @@ __all__ = [
 
 def all_specs() -> list["BenchSpec"]:
     """Every benchmark in the suite: calibration, micro, fabric,
-    reliability, lint, macro."""
-    from repro.bench import fabric, lint, macro, micro, reliability
+    reliability, traffic, lint, macro."""
+    from repro.bench import fabric, lint, macro, micro, reliability, traffic
 
     return (micro.specs() + fabric.specs() + reliability.specs()
-            + lint.specs() + macro.specs())
+            + traffic.specs() + lint.specs() + macro.specs())

@@ -1,0 +1,87 @@
+"""Traffic benchmarks: schedule generation and open-loop serving.
+
+The open-loop engine sits on the serving hot path of the
+``traffic-frontier`` experiment, so its three stages get their own gate:
+
+* ``traffic.schedule_build`` — materialise a merged multi-tenant arrival
+  stream (Poisson sampling, Zipf draws, stable lexsort merge), measured
+  in arrivals per second of wall clock.
+* ``traffic.zipf_sample`` — the popularity sampler alone (cumulative
+  table inversion), the per-request cost of every schedule build.
+* ``traffic.open_loop_serve`` — one small end-to-end serving run with a
+  failed disk, hedged degraded reads, and §5.1 recovery underneath: the
+  whole DES round trip the frontier experiment repeats per grid cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import BenchSpec
+from repro.traffic import DEFAULT_TENANTS, ZipfPopularity, build_schedule
+
+_RATE = 2_000.0
+_DURATION = 30.0
+_N_OBJECTS = 10_000
+
+_N_ZIPF = 1_000_000
+
+_SERVE_OBJECTS = 120
+_SERVE_RATE = 60.0
+_SERVE_DURATION = 4.0
+
+
+def _schedule_build() -> int:
+    schedule = build_schedule(DEFAULT_TENANTS, rate=_RATE,
+                              duration=_DURATION, n_objects=_N_OBJECTS,
+                              seed=11)
+    return schedule.n_requests
+
+
+def _zipf_sample() -> int:
+    pop = ZipfPopularity(_N_OBJECTS, 0.9, np.random.default_rng(12))
+    return int(pop.sample(np.random.default_rng(13), _N_ZIPF)[-1])
+
+
+_SERVE_STATE = None
+
+
+def _open_loop_serve() -> float:
+    from repro.cluster.qos import serve_open_loop
+    from repro.experiments.common import (
+        build_system,
+        cluster_config,
+        sample_workload,
+        setting_by_name,
+    )
+    from repro.experiments.traffic_frontier import busiest_disk
+
+    global _SERVE_STATE
+    if _SERVE_STATE is None:    # ingest once; the spec times serving
+        ws = setting_by_name("W1")
+        system = build_system("RS", ws, cluster_config(ws, _SERVE_OBJECTS,
+                                                       client_gbps=10.0))
+        objects = system.ingest(sample_workload(ws, _SERVE_OBJECTS, 0))
+        schedule = build_schedule(DEFAULT_TENANTS, rate=_SERVE_RATE,
+                                  duration=_SERVE_DURATION,
+                                  n_objects=len(objects), seed=14)
+        _SERVE_STATE = (system, objects, schedule, busiest_disk(system))
+    system, objects, schedule, failed = _SERVE_STATE
+    report = serve_open_loop(
+        system, objects, schedule.times, schedule.tenant_ids,
+        schedule.object_ids,
+        tuple((t.name, t.lane, t.hedge) for t in DEFAULT_TENANTS),
+        failed_disk=failed, weight_limit=8, hedge_s=0.05, seed=15)
+    return report.drain_time
+
+
+def specs() -> list[BenchSpec]:
+    """The traffic suite."""
+    return [
+        BenchSpec("traffic.schedule_build", "traffic", _schedule_build,
+                  units=int(_RATE * _DURATION)),
+        BenchSpec("traffic.zipf_sample", "traffic", _zipf_sample,
+                  units=_N_ZIPF),
+        BenchSpec("traffic.open_loop_serve", "traffic", _open_loop_serve,
+                  units=1, repeats=4),
+    ]

@@ -52,12 +52,18 @@ MAX_HEDGED_ATTEMPTS = 3
 
 @dataclass
 class DegradedReadResult:
-    """Timing breakdown of one degraded read (Figure 13's three bars)."""
+    """Timing breakdown of one degraded read (Figure 13's three bars).
+
+    ``hedges_fired`` / ``hedge_wins`` count speculative backup read sets
+    armed (and won) by the hedging race — both zero unless the read ran
+    with a hedge timeout (:mod:`repro.cluster.qos`)."""
 
     total_time: float
     repair_time: float
     transfer_time: float
     object_size: int
+    hedges_fired: int = 0
+    hedge_wins: int = 0
 
 
 @dataclass
@@ -344,6 +350,87 @@ class RCStor:
             return "corrupt"
         return "ok"
 
+    # ------------------------------------------------------------------
+    # Hedged degraded reads (repro.cluster.qos)
+    # ------------------------------------------------------------------
+    def _fanout_race(self, rt: _Runtime, pg: PlacementGroup, primary: list,
+                     spare_reads: list, priority: int):
+        """Sub-generator: fan out spare-survivor legs and take the first
+        ``len(primary)`` responses of the widened set.
+
+        The any-k property of MDS reads is what makes this sound: every
+        leg delivers an equally useful strip, so the read completes when
+        *any* ``len(primary)`` of the primary + spare legs land — the
+        slowest primary leg no longer gates the read.  The unfinished
+        losers are interrupted, which cancels their queued disk requests
+        rather than leaking the grants (reads hold their requests as
+        context managers).  Returns 1 when a spare leg displaced a
+        primary one (the hedge won), else 0.
+        """
+        env = rt.env
+        backup = [env.process(rt.disks[pg.disk_ids[role]].read(
+            n_ios, nbytes, priority, span=span))
+            for role, n_ios, nbytes, span in spare_reads]
+        legs = primary + backup
+        need = len(primary)
+        while sum(1 for leg in legs if leg.triggered) < need:
+            yield env.any_of([leg for leg in legs if not leg.triggered])
+        won = 0 if all(leg.triggered for leg in primary) else 1
+        for leg in legs:
+            if not leg.triggered:
+                leg.interrupt("hedge-loser")
+        return won
+
+    def _hedged_helper_reads(self, rt: _Runtime, pg: PlacementGroup,
+                             profile: RepairProfile, is_rs: bool,
+                             priority: int, hedge_s: float):
+        """Sub-generator: one profile's helper reads with a hedging race.
+
+        The backup read set is armed only if the primary set is still in
+        flight ``hedge_s`` seconds in.  Scalar / RS profiles fan out onto
+        the spare survivor roles and take any-k (:meth:`_fanout_race`).
+        A regenerating profile already reads all d = n-1 survivors, so no
+        spare legs exist: the hedge races a full RS-style decode read set
+        instead — structurally expensive, which is exactly the
+        regenerating trade-off.  Returns ``(profile, is_rs, fired, won)``
+        with the profile whose read set satisfied the repair, so gather
+        volume and decode flavour follow the winner.
+        """
+        env = rt.env
+        primary = [env.process(rt.disks[pg.disk_ids[h.role]].read(
+            h.n_ios, h.nbytes, priority, span=h.span))
+            for h in profile.helpers]
+        all_done = env.all_of(primary)
+        yield env.any_of([all_done, env.timeout(hedge_s)])
+        if all_done.triggered:
+            return profile, is_rs, 0, 0
+        if is_rs or self._scalar_rebuild:
+            used = {h.role for h in profile.helpers}
+            spares = [r for r in self._live_roles(profile, set())
+                      if r not in used]
+            if not spares:
+                yield all_done
+                return profile, is_rs, 0, 0
+            shape = profile.helpers[0]
+            won = yield from self._fanout_race(
+                rt, pg, primary,
+                [(r, shape.n_ios, shape.nbytes, shape.span) for r in spares],
+                priority)
+            return profile, is_rs, 1, won
+        fallback = self._decode_fallback(profile, set(), 1, rt.invariants)
+        backup = [env.process(rt.disks[pg.disk_ids[h.role]].read(
+            h.n_ios, h.nbytes, priority, span=h.span))
+            for h in fallback.helpers]
+        backup_done = env.all_of(backup)
+        yield env.any_of([all_done, backup_done])
+        losers = backup if all_done.triggered else primary
+        for leg in losers:
+            if not leg.triggered:
+                leg.interrupt("hedge-loser")
+        if all_done.triggered:
+            return profile, is_rs, 1, 0
+        return fallback, True, 1, 1
+
     def _repair_reads_faulted(self, rt: _Runtime, pg: PlacementGroup,
                               profile: RepairProfile, is_rs: bool,
                               priority: int):
@@ -401,7 +488,8 @@ class RCStor:
     # ------------------------------------------------------------------
     # Normal reads
     # ------------------------------------------------------------------
-    def _normal_read_proc(self, rt: _Runtime, obj: StoredObject, client: Link):
+    def _normal_read_proc(self, rt: _Runtime, obj: StoredObject, client: Link,
+                          priority: int = FOREGROUND):
         """Read an intact object: disk fetch(es) overlapped with transfer."""
         env = rt.env
         placement = self.catalog.placement_of(obj)
@@ -413,12 +501,13 @@ class RCStor:
                 per_role[chunk.disk_index] = (per_role.get(chunk.disk_index, 0)
                                               + chunk.data_bytes)
             reads = [env.process(self._batch_read(
-                rt.disks[pg.disk_ids[role]], 1, nbytes, started))
+                rt.disks[pg.disk_ids[role]], 1, nbytes, started, priority))
                 for role, nbytes in per_role.items()]
         else:
             disk = rt.disks[self.catalog.disk_of(obj)]
             reads = [env.process(self._batch_read(
-                disk, max(1, placement.n_chunks), obj.size, started))]
+                disk, max(1, placement.n_chunks), obj.size, started,
+                priority))]
 
         def transfer_proc():
             yield started
@@ -428,8 +517,9 @@ class RCStor:
         xfer = env.process(transfer_proc())
         yield env.all_of(reads + [xfer])
 
-    def _batch_read(self, disk: Disk, n_ios: int, nbytes: int, started):
-        req = disk.queue.request(FOREGROUND)
+    def _batch_read(self, disk: Disk, n_ios: int, nbytes: int, started,
+                    priority: int = FOREGROUND):
+        req = disk.queue.request(priority)
         yield req
         if not started.triggered:
             started.succeed()
@@ -527,9 +617,16 @@ class RCStor:
 
     def _degraded_single_disk_proc(self, rt: _Runtime, obj: StoredObject,
                                    client: Link, result: DegradedReadResult,
-                                   byte_range: tuple[int, int] | None = None):
+                                   byte_range: tuple[int, int] | None = None,
+                                   priority: int = FOREGROUND,
+                                   hedge_s: float | None = None):
         """Geometric / Contiguous: repair chunks in order, pipeline the
-        transfer of chunk i with the repair of chunk i+1 (Figure 8)."""
+        transfer of chunk i with the repair of chunk i+1 (Figure 8).
+
+        ``priority`` is the disk-queue lane of the helper reads (tenant
+        lanes, :mod:`repro.cluster.qos`); ``hedge_s`` arms the hedging
+        race per chunk.  Both default to the historical behaviour, so the
+        pinned measurement paths are byte-identical."""
         env = rt.env
         pg = self.cluster.pgs[obj.pg_id]
         failed_role = obj.role
@@ -551,14 +648,20 @@ class RCStor:
                 profile = self._profile(cache, failed_role, size,
                                         rt.invariants)
                 t_read = env.now
-                if rt.faults is None:
+                if rt.faults is not None:
+                    profile, is_rs = yield from self._repair_reads_faulted(
+                        rt, pg, profile, is_rs, priority)
+                elif hedge_s is not None:
+                    profile, is_rs, fired, won = yield from \
+                        self._hedged_helper_reads(rt, pg, profile, is_rs,
+                                                  priority, hedge_s)
+                    result.hedges_fired += fired
+                    result.hedge_wins += won
+                else:
                     reads = [env.process(rt.disks[pg.disk_ids[h.role]].read(
-                        h.n_ios, h.nbytes, FOREGROUND, span=h.span))
+                        h.n_ios, h.nbytes, priority, span=h.span))
                         for h in profile.helpers]
                     yield env.all_of(reads)
-                else:
-                    profile, is_rs = yield from self._repair_reads_faulted(
-                        rt, pg, profile, is_rs, FOREGROUND)
                 if rt.obs is not None:
                     rt.span("helper_reads", "repair", t_read, env.now,
                             chunk=i, nbytes=profile.total_read_bytes)
@@ -601,10 +704,16 @@ class RCStor:
     def _degraded_striped_proc(self, rt: _Runtime, obj: StoredObject,
                                failed_role: int, client: Link,
                                result: DegradedReadResult,
-                               byte_range: tuple[int, int] | None = None):
+                               byte_range: tuple[int, int] | None = None,
+                               priority: int = FOREGROUND,
+                               hedge_s: float | None = None):
         """Stripe / Stripe-Max: fetch surviving strips in parallel, repair
         the failed disk's strips, pipeline the client transfer in strip
-        order (§6.1's n-requests-first-k-responses rebuild)."""
+        order (§6.1's n-requests-first-k-responses rebuild).
+
+        ``priority`` / ``hedge_s`` as in
+        :meth:`_degraded_single_disk_proc` — defaults keep the pinned
+        measurement paths byte-identical."""
         env = rt.env
         pg = self.cluster.pgs[obj.pg_id]
         placement = self.catalog.placement_of(obj, failed_role)
@@ -632,7 +741,7 @@ class RCStor:
                                               + nbytes)
         for role, nbytes in per_role.items():
             available_done[role] = env.process(
-                rt.disks[pg.disk_ids[role]].read(1, nbytes, FOREGROUND))
+                rt.disks[pg.disk_ids[role]].read(1, nbytes, priority))
 
         missing = [c for c, n in chunks if c.needs_repair and n > 0]
         missing_bytes = sum(c.stored_bytes for c in missing)
@@ -642,19 +751,46 @@ class RCStor:
             t0 = env.now
             if missing:
                 gathered_bytes = missing_bytes
+                decode_rs = False
                 t_read = env.now
                 if self._scalar_rebuild:
                     # Rebuild rows from strips already being fetched plus
                     # parity strips covering the failed disk's share.
                     extra = [env.process(rt.disks[pg.disk_ids[self.config.k]].read(
-                        1, missing_bytes, FOREGROUND))]
+                        1, missing_bytes, priority))]
                     if isinstance(self.code, LRCCode):
                         # Non-MDS: needs k+1 responses (§6.1) — one more read.
                         local = self.config.k + self.code.group_of(failed_role)
                         extra.append(env.process(rt.disks[pg.disk_ids[local]].read(
-                            1, missing_bytes, FOREGROUND)))
-                    statuses = yield env.all_of(
-                        list(available_done.values()) + extra)
+                            1, missing_bytes, priority)))
+                    if rt.faults is None and hedge_s is not None:
+                        # Hedge the strip fetch: fan out legs on the spare
+                        # parity roles and take the first len(primary)
+                        # responses — any-k MDS row decode accepts any
+                        # equally-sized set of live strips.
+                        primary = list(available_done.values()) + extra
+                        all_done = env.all_of(primary)
+                        yield env.any_of([all_done, env.timeout(hedge_s)])
+                        if not all_done.triggered:
+                            used = set(per_role) | {self.config.k}
+                            if isinstance(self.code, LRCCode):
+                                used.add(self.config.k
+                                         + self.code.group_of(failed_role))
+                            spares = [r for r in range(self.config.n)
+                                      if r != failed_role and r not in used]
+                            if spares:
+                                won = yield from self._fanout_race(
+                                    rt, pg, primary,
+                                    [(r, 1, missing_bytes, None)
+                                     for r in spares], priority)
+                                result.hedges_fired += 1
+                                result.hedge_wins += won
+                            else:
+                                yield all_done
+                        statuses = [IO_OK]
+                    else:
+                        statuses = yield env.all_of(
+                            list(available_done.values()) + extra)
                     if rt.faults is not None \
                             and any(s != IO_OK for s in statuses):
                         # A strip read hit a crashed disk or corruption:
@@ -671,7 +807,7 @@ class RCStor:
                                 "degraded read unrecoverable: more than "
                                 f"r={self.config.r} failures in one PG")
                         yield from self._repair_reads_faulted(
-                            rt, pg, decode, True, FOREGROUND)
+                            rt, pg, decode, True, priority)
                     if rt.obs is not None:
                         rt.span("helper_reads", "repair", t_read, env.now,
                                 nbytes=missing_bytes)
@@ -705,9 +841,27 @@ class RCStor:
                             acc[1] += h.nbytes
                             acc[2] += h.span
                     gather_sources = None
-                    if rt.faults is None:
+                    if rt.faults is None and hedge_s is not None:
+                        # Regenerating sub-chunk reads touch all d = n-1
+                        # survivors, so the hedge races a full RS-style
+                        # decode read set against the batch.
+                        batch_profile = RepairProfile(
+                            failed_role, missing_bytes,
+                            tuple(HelperRead(role, ios, nbytes, span)
+                                  for role, (ios, nbytes, span)
+                                  in batch.items()),
+                            missing_bytes)
+                        winner, decode_rs, fired, won = yield from \
+                            self._hedged_helper_reads(
+                                rt, pg, batch_profile, False, priority,
+                                hedge_s)
+                        result.hedges_fired += fired
+                        result.hedge_wins += won
+                        gathered_bytes = winner.total_read_bytes
+                        gather_sources = self._helper_sources(rt, pg, winner)
+                    elif rt.faults is None:
                         reads = [env.process(rt.disks[pg.disk_ids[role]].read(
-                            ios, nbytes, FOREGROUND, span=span))
+                            ios, nbytes, priority, span=span))
                             for role, (ios, nbytes, span) in batch.items()]
                         yield env.all_of(reads)
                         gathered_bytes = sum(b for _, b, _s in batch.values())
@@ -727,7 +881,7 @@ class RCStor:
                             missing_bytes)
                         batch_profile, _ = yield from \
                             self._repair_reads_faulted(
-                                rt, pg, batch_profile, False, FOREGROUND)
+                                rt, pg, batch_profile, False, priority)
                         gathered_bytes = batch_profile.total_read_bytes
                         gather_sources = self._helper_sources(
                             rt, pg, batch_profile)
@@ -740,7 +894,7 @@ class RCStor:
                     if rt.obs is not None:
                         rt.span("gather", "repair", t_gather, env.now,
                                 nbytes=gathered_bytes)
-                codec_time = self._codec_time(missing_bytes, is_rs=False)
+                codec_time = self._codec_time(missing_bytes, is_rs=decode_rs)
                 rpc = self.config.repair_rpc_overhead
                 yield env.timeout(codec_time + rpc)
                 if rt.obs is not None:

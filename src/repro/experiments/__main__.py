@@ -219,6 +219,17 @@ def spec_durability_frontier(args):
         durability_frontier.render)
 
 
+def spec_traffic_frontier(args):
+    from repro.experiments import traffic_frontier
+
+    rates = (tuple(float(r) for r in args.arrival_rate.split(",") if r)
+             if args.arrival_rate else None)
+    return (traffic_frontier.scenarios(
+        n_objects=args.n_objects, rates=rates, n_tenants=args.tenants,
+        hedge_ms=args.hedge_ms),
+        traffic_frontier.render)
+
+
 SPECS = {
     "table1": spec_table1, "table2": spec_table2, "table3": spec_table3,
     "table4": spec_table4, "table5": spec_table5,
@@ -231,13 +242,15 @@ SPECS = {
     "chaos-tail": spec_chaos_tail, "chaos-recovery": spec_chaos_recovery,
     "placement-matrix": spec_placement_matrix,
     "durability-frontier": spec_durability_frontier,
+    "traffic-frontier": spec_traffic_frontier,
 }
 
 #: Experiments beyond the paper's own tables and figures.  ``all`` is the
 #: paper artifact set, pinned byte-for-byte by
 #: ``results/expected_all_300.json.gz`` — extensions run only when named
 #: explicitly.
-EXTENSIONS = frozenset({"placement-matrix", "durability-frontier"})
+EXTENSIONS = frozenset({"placement-matrix", "durability-frontier",
+                        "traffic-frontier"})
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -278,6 +291,17 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--trials", type=int, default=None,
                         help="durability-frontier: Monte-Carlo trials per "
                              "grid point and repair speed (default 2)")
+    parser.add_argument("--arrival-rate", metavar="R1,R2,...", default=None,
+                        help="traffic-frontier: comma-separated mean "
+                             "arrival rates (requests/s) to sweep instead "
+                             "of the default (40,160)")
+    parser.add_argument("--tenants", type=int, default=None, metavar="N",
+                        help="traffic-frontier: serve only the first N "
+                             "tenant presets (shares renormalised; "
+                             "default: all three)")
+    parser.add_argument("--hedge-ms", type=float, default=None,
+                        help="traffic-frontier: hedge timeout in ms for "
+                             "hedged cells (default 200)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run scenario units on N worker processes "
                              "(identical rows for any N)")

@@ -1,0 +1,119 @@
+"""Multi-tenant QoS: tenant specs, priority lanes, and SLO read-outs.
+
+A tenant is a share of the open-loop arrival stream with a service
+class: the *lane* maps onto the per-disk priority queues (§5.1's IO
+scheduling — lane 0 is foreground, lane 1 queues with background
+recovery I/O), the *SLO* is the per-request latency bound the tenant's
+percentile tracking is judged against, and *hedge* says whether the
+tenant's degraded reads may fan out backup helper reads.
+
+Specs are JSON-round-trippable so they can ride in scenario parameters
+(the runner hashes params into cache keys and seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Disk-queue lanes (mirrors repro.cluster.disk priorities without
+#: importing across layers: 0 = foreground, 1 = background).
+INTERACTIVE_LANE = 0
+BATCH_LANE = 1
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: arrival share, priority lane, SLO, hedging policy."""
+
+    name: str
+    share: float            # fraction of the total arrival rate
+    lane: int = INTERACTIVE_LANE
+    slo_ms: float = 200.0   # per-request latency objective
+    hedge: bool = True      # degraded reads may race backup helper legs
+
+    def __post_init__(self):
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"tenant {self.name!r}: share must be in (0, 1]")
+        if self.lane not in (INTERACTIVE_LANE, BATCH_LANE):
+            raise ValueError(f"tenant {self.name!r}: unknown lane {self.lane}")
+        if self.slo_ms <= 0:
+            raise ValueError(f"tenant {self.name!r}: SLO must be positive")
+
+    def to_doc(self) -> dict:
+        """JSON-safe form (scenario parameters must round-trip)."""
+        return {"name": self.name, "share": self.share, "lane": self.lane,
+                "slo_ms": self.slo_ms, "hedge": self.hedge}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "TenantSpec":
+        return cls(name=doc["name"], share=doc["share"], lane=doc["lane"],
+                   slo_ms=doc["slo_ms"], hedge=doc["hedge"])
+
+
+#: The default three-class mix: latency-sensitive interactive traffic,
+#: ordinary foreground requests with a looser bound, and a batch tenant
+#: that queues behind recovery I/O and never hedges.
+DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
+    TenantSpec("interactive", share=0.5, lane=INTERACTIVE_LANE,
+               slo_ms=250.0, hedge=True),
+    TenantSpec("standard", share=0.3, lane=INTERACTIVE_LANE,
+               slo_ms=1000.0, hedge=True),
+    TenantSpec("batch", share=0.2, lane=BATCH_LANE,
+               slo_ms=8000.0, hedge=False),
+)
+
+
+def validate_tenants(tenants: tuple[TenantSpec, ...]) -> None:
+    """Reject empty mixes, duplicate names, and shares not summing to 1."""
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {names}")
+    total = sum(t.share for t in tenants)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"tenant shares sum to {total:g}, expected 1")
+
+
+@dataclass(frozen=True)
+class SloSummary:
+    """Per-tenant percentile read-out against the tenant's SLO."""
+
+    tenant: str
+    lane: int
+    slo_ms: float
+    n_requests: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    attainment: float       # fraction of requests inside the SLO
+    n_degraded: int
+    degraded_p99_ms: float
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile of a pre-sorted list (0.0 if empty)."""
+    if not ordered:
+        return 0.0
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def summarize_slo(spec: TenantSpec, latencies: list[float],
+                  degraded: list[float]) -> SloSummary:
+    """Fold one tenant's request latencies (seconds) into an SLO summary."""
+    ordered = sorted(latencies)
+    slo_s = spec.slo_ms / 1000.0
+    inside = sum(1 for t in latencies if t <= slo_s)
+    return SloSummary(
+        tenant=spec.name, lane=spec.lane, slo_ms=spec.slo_ms,
+        n_requests=len(latencies),
+        p50_ms=1000.0 * _percentile(ordered, 0.50),
+        p95_ms=1000.0 * _percentile(ordered, 0.95),
+        p99_ms=1000.0 * _percentile(ordered, 0.99),
+        attainment=inside / len(latencies) if latencies else 0.0,
+        n_degraded=len(degraded),
+        degraded_p99_ms=1000.0 * _percentile(sorted(degraded), 0.99))

@@ -1,0 +1,158 @@
+"""Open-loop serving: lanes, hedged degraded reads, recovery coupling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.qos import serve_open_loop
+from repro.experiments.common import (
+    build_system,
+    cluster_config,
+    sample_workload,
+    setting_by_name,
+)
+from repro.obs import Observer, merge_snapshots, snapshot
+from repro.traffic import TenantSpec, build_schedule
+
+N_OBJECTS = 80
+DURATION = 2.0
+
+TENANTS = (
+    TenantSpec("fast", share=0.6, lane=0, slo_ms=2000.0, hedge=True),
+    TenantSpec("slow", share=0.4, lane=1, slo_ms=8000.0, hedge=False),
+)
+
+
+def make_run(scheme, seed=0, obs=None):
+    ws = setting_by_name("W1")
+    system = build_system(scheme, ws,
+                          cluster_config(ws, N_OBJECTS, client_gbps=10.0))
+    if obs is not None:
+        system._obs = obs
+    objects = system.ingest(sample_workload(ws, N_OBJECTS, seed))
+    schedule = build_schedule(TENANTS, rate=30.0, duration=DURATION,
+                              n_objects=len(objects), seed=seed)
+    return system, objects, schedule
+
+
+def serve(system, objects, schedule, **kw):
+    return serve_open_loop(
+        system, objects, schedule.times, schedule.tenant_ids,
+        schedule.object_ids, tuple((t.name, t.lane, t.hedge) for t in TENANTS),
+        **kw)
+
+
+def busiest(system):
+    return max(range(system.config.n_disks),
+               key=lambda d: (len(system.degraded_read_candidates(d)), -d))
+
+
+def test_serving_is_deterministic():
+    runs = []
+    for _ in range(2):
+        system, objects, schedule = make_run("RS")
+        report = serve(system, objects, schedule,
+                       failed_disk=busiest(system), weight_limit=8,
+                       hedge_s=0.05, seed=1)
+        runs.append((report.latencies, report.degraded, report.hedges_fired,
+                     report.hedge_wins, report.drain_time,
+                     report.recovery.makespan))
+    assert runs[0] == runs[1]
+
+
+def test_open_loop_without_failure_serves_everything():
+    system, objects, schedule = make_run("Geo-4M")
+    report = serve(system, objects, schedule)
+    assert report.n_requests == schedule.n_requests
+    assert report.n_degraded == 0
+    assert report.recovery is None
+    assert report.drain_time >= float(schedule.times[-1])
+    total = sum(len(v) for v in report.latencies.values())
+    assert total == schedule.n_requests
+    assert all(t > 0 for v in report.latencies.values() for t in v)
+
+
+def test_degraded_requests_recorded_and_recovery_reported():
+    system, objects, schedule = make_run("RS")
+    report = serve(system, objects, schedule, failed_disk=busiest(system),
+                   weight_limit=8)
+    assert report.n_degraded > 0
+    assert sum(len(v) for v in report.degraded.values()) == report.n_degraded
+    assert report.recovery is not None
+    assert report.recovery.makespan > 0
+
+
+def test_hedging_fires_and_wins_under_load():
+    system, objects, schedule = make_run("RS")
+    report = serve(system, objects, schedule, failed_disk=busiest(system),
+                   weight_limit=512, hedge_s=0.01, seed=2)
+    # With a 10ms trigger every degraded read of the hedging tenant arms
+    # its backup legs, and the spare-role fan-out must win at least once.
+    assert report.hedges_fired > 0
+    assert 0 < report.hedge_wins <= report.hedges_fired
+
+
+def test_hedge_respects_tenant_opt_out():
+    # hedge_s=None never arms a hedge...
+    system, objects, schedule = make_run("RS")
+    unhedged = serve(system, objects, schedule,
+                     failed_disk=busiest(system), weight_limit=8,
+                     hedge_s=None)
+    assert unhedged.hedges_fired == 0 and unhedged.hedge_wins == 0
+    # ...and neither does a mix whose tenants all opted out.
+    system, objects, schedule = make_run("RS")
+    opted_out = serve_open_loop(
+        system, objects, schedule.times, schedule.tenant_ids,
+        schedule.object_ids, tuple((t.name, t.lane, False) for t in TENANTS),
+        failed_disk=busiest(system), weight_limit=8, hedge_s=0.01)
+    assert opted_out.hedges_fired == 0
+
+
+def test_batch_lane_queues_behind_recovery_io():
+    # Paired comparison: the identical request stream served entirely in
+    # the foreground lane vs entirely in the background lane, both under
+    # flooding recovery I/O.  The background copy shares its queue with
+    # the recovery reads, so it can only be slower in aggregate.
+    totals = {}
+    for lane in (0, 1):
+        system, objects, schedule = make_run("RS", seed=3)
+        report = serve_open_loop(
+            system, objects, schedule.times, schedule.tenant_ids,
+            schedule.object_ids,
+            tuple((t.name, lane, False) for t in TENANTS),
+            failed_disk=busiest(system), weight_limit=512, seed=3)
+        totals[lane] = sum(t for v in report.latencies.values() for t in v)
+    assert totals[1] > totals[0]
+
+
+def test_lane_validation():
+    system, objects, schedule = make_run("RS")
+    with pytest.raises(ValueError):
+        serve_open_loop(system, objects, schedule.times,
+                        schedule.tenant_ids, schedule.object_ids,
+                        (("fast", 0, True), ("slow", 7, False)))
+    with pytest.raises(ValueError):
+        serve_open_loop(system, objects, schedule.times[:-1],
+                        schedule.tenant_ids, schedule.object_ids,
+                        (("fast", 0, True), ("slow", 1, False)))
+
+
+def test_per_tenant_histograms_snapshot_and_merge():
+    obs_a, obs_b = Observer(), Observer()
+    for seed, obs in ((4, obs_a), (5, obs_b)):
+        system, objects, schedule = make_run("RS", seed=seed, obs=obs)
+        serve(system, objects, schedule, failed_disk=busiest(system),
+              weight_limit=8, seed=seed)
+    snap_a, snap_b = snapshot(obs_a), snapshot(obs_b)
+    for snap in (snap_a, snap_b):
+        for tenant in ("fast", "slow"):
+            assert f"traffic.latency{{tenant={tenant}}}" in snap["histograms"]
+            assert f"traffic.requests{{tenant={tenant}}}" in snap["counters"]
+    merged = merge_snapshots([snap_a, snap_b])
+    for tenant in ("fast", "slow"):
+        key = f"traffic.latency{{tenant={tenant}}}"
+        assert (merged["histograms"][key]["count"]
+                == snap_a["histograms"][key]["count"]
+                + snap_b["histograms"][key]["count"])
+        ckey = f"traffic.requests{{tenant={tenant}}}"
+        assert (merged["counters"][ckey]
+                == snap_a["counters"][ckey] + snap_b["counters"][ckey])

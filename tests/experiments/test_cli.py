@@ -15,7 +15,8 @@ def test_experiment_registry_covers_the_paper():
     assert expected == set(SPECS) - EXTENSIONS
     # Extensions are runnable but excluded from ``all`` (its output is
     # pinned byte-for-byte by results/expected_all_300.json.gz).
-    assert EXTENSIONS == {"placement-matrix", "durability-frontier"}
+    assert EXTENSIONS == {"placement-matrix", "durability-frontier",
+                          "traffic-frontier"}
     assert EXTENSIONS <= set(SPECS)
 
 

@@ -1,0 +1,101 @@
+"""traffic-frontier: scenario grid, seed groups, one tiny end-to-end
+cell, and the rendered table."""
+
+import pytest
+
+from repro.experiments.traffic_frontier import (
+    RATES,
+    SCHEMES,
+    WEIGHTS,
+    FrontierRow,
+    busiest_disk,
+    compute_cell,
+    frontier_tenants,
+    render,
+    scenarios,
+)
+from repro.experiments.common import (
+    build_system,
+    cluster_config,
+    sample_workload,
+    setting_by_name,
+)
+from repro.runner import (
+    ExperimentResult,
+    RunOptions,
+    run_scenarios,
+    typed_rows,
+)
+
+TINY = dict(n_objects=60, duration=2.0, seed=0)
+
+
+def test_frontier_tenants_renormalise_and_rescale():
+    specs = frontier_tenants()
+    assert sum(t.share for t in specs) == pytest.approx(1.0)
+    assert {t.name for t in specs} == {"interactive", "standard", "batch"}
+    assert all(t.slo_ms >= 2000.0 for t in specs)  # W1-scale SLOs
+    two = frontier_tenants(2)
+    assert len(two) == 2
+    assert sum(t.share for t in two) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        frontier_tenants(0)
+    with pytest.raises(ValueError):
+        frontier_tenants(99)
+
+
+def test_scenario_grid_shape_and_shared_seed_group():
+    units = scenarios(n_objects=60)
+    assert len(units) == len(SCHEMES) * len(RATES) * len(WEIGHTS) * 2
+    names = {u.name for u in units}
+    assert f"RS/r{RATES[0]:g}/w{WEIGHTS[0]}/unhedged" in names
+    assert f"Geo-4M/r{RATES[1]:g}/w{WEIGHTS[1]}/hedged" in names
+    # One seed group for the whole grid: every cell faces the same
+    # arrival draws, so the sweep compares policies, never draws.
+    assert len({u.seed_group for u in units}) == 1
+    # Narrowing the rate sweep narrows the grid without renaming cells.
+    narrow = scenarios(n_objects=60, rates=(RATES[0],))
+    assert len(narrow) == len(units) // 2
+    assert {u.seed_group for u in narrow} == {units[0].seed_group}
+
+
+def test_busiest_disk_is_deterministic_and_degrades_objects():
+    ws = setting_by_name("W1")
+    system = build_system("RS", ws, cluster_config(ws, 60, client_gbps=10.0))
+    system.ingest(sample_workload(ws, 60, 0))
+    disk = busiest_disk(system)
+    assert disk == busiest_disk(system)
+    assert len(system.degraded_read_candidates(disk)) > 0
+
+
+def test_compute_cell_rows_and_determinism():
+    tenants = tuple(t.to_doc() for t in frontier_tenants(2))
+    out = compute_cell("RS", arrival_rate=25.0, repair_weight=8,
+                       hedged=False, tenants=tenants, **TINY)
+    rows = out["rows"]
+    assert len(rows) == 2            # one row per tenant
+    for row in rows:
+        assert row["scheme"] == "RS"
+        assert row["repair_weight"] == 8 and row["hedged"] is False
+        assert row["n_requests"] >= 0
+        assert row["recovery_makespan_s"] > 0
+    assert sum(r["n_requests"] for r in rows) == rows[0]["offered_requests"]
+    assert out["meta"]["n_degraded_candidates"] >= 0
+    again = compute_cell("RS", arrival_rate=25.0, repair_weight=8,
+                         hedged=False, tenants=tenants, **TINY)
+    assert out == again
+
+
+def test_end_to_end_cells_render(tmp_path):
+    units = scenarios(n_objects=60, rates=(30.0,), n_tenants=2,
+                      duration=2.0)
+    keep = [u for u in units if "/w1/" in u.name or "/w512/" in u.name]
+    keep = keep[:4]                  # one scheme's four cells
+    report = run_scenarios(keep, RunOptions(cache_dir=tmp_path))
+    results = report.results
+    assert all(isinstance(r, ExperimentResult) for r in results)
+    rows = typed_rows(results, FrontierRow)
+    assert len(rows) == 4 * 2        # four cells x two tenants
+    text = render(results)
+    assert "SLO att." in text and "Recovery (s)" in text
+    assert "Open-loop arrivals" in text

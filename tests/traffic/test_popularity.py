@@ -1,0 +1,70 @@
+"""Zipf popularity: seeded permutation, mass concentration, purity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import ZipfPopularity
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(SEEDS, st.floats(min_value=0.0, max_value=1.5))
+def test_sampling_is_pure_function_of_seed(seed, alpha):
+    a = ZipfPopularity(200, alpha, np.random.default_rng(seed))
+    b = ZipfPopularity(200, alpha, np.random.default_rng(seed))
+    assert a.by_rank.tobytes() == b.by_rank.tobytes()
+    draw_a = a.sample(np.random.default_rng(seed + 1), 500)
+    draw_b = b.sample(np.random.default_rng(seed + 1), 500)
+    assert draw_a.tobytes() == draw_b.tobytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(SEEDS)
+def test_samples_are_valid_object_indices(seed):
+    pop = ZipfPopularity(64, 0.9, np.random.default_rng(seed))
+    draws = pop.sample(np.random.default_rng(seed), 1000)
+    assert draws.min() >= 0 and draws.max() < 64
+
+
+def test_rank_permutation_covers_all_objects():
+    pop = ZipfPopularity(100, 1.0, np.random.default_rng(5))
+    assert sorted(pop.by_rank) == list(range(100))
+
+
+def test_weights_sum_to_one():
+    pop = ZipfPopularity(50, 0.8, np.random.default_rng(1))
+    total = sum(pop.weight_of_rank(r) for r in range(50))
+    assert total == pytest.approx(1.0)
+
+
+def test_hot_rank_dominates_and_alpha_zero_is_uniform():
+    hot = ZipfPopularity(100, 1.0, np.random.default_rng(2))
+    assert hot.weight_of_rank(0) > 10 * hot.weight_of_rank(99)
+    flat = ZipfPopularity(100, 0.0, np.random.default_rng(2))
+    assert flat.weight_of_rank(0) == pytest.approx(flat.weight_of_rank(99))
+
+
+def test_hottest_object_is_permuted_not_object_zero():
+    # Across seeds, rank 0 should land on many different object ids.
+    hottest = {int(ZipfPopularity(64, 1.0,
+                                  np.random.default_rng(s)).by_rank[0])
+               for s in range(16)}
+    assert len(hottest) > 1
+
+
+def test_empirical_frequency_tracks_zipf_mass():
+    pop = ZipfPopularity(32, 1.0, np.random.default_rng(3))
+    draws = pop.sample(np.random.default_rng(4), 200_000)
+    freq = np.bincount(draws, minlength=32) / draws.size
+    assert freq[pop.by_rank[0]] == pytest.approx(pop.weight_of_rank(0),
+                                                 rel=0.05)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        ZipfPopularity(0, 1.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        ZipfPopularity(10, -0.1, np.random.default_rng(0))

@@ -1,0 +1,63 @@
+"""Tenant specs, validation, and SLO percentile summaries."""
+
+import pytest
+
+from repro.traffic import (
+    BATCH_LANE,
+    DEFAULT_TENANTS,
+    INTERACTIVE_LANE,
+    TenantSpec,
+    summarize_slo,
+    validate_tenants,
+)
+
+
+def test_default_mix_is_valid():
+    validate_tenants(DEFAULT_TENANTS)
+    assert {t.lane for t in DEFAULT_TENANTS} == {INTERACTIVE_LANE,
+                                                 BATCH_LANE}
+
+
+def test_spec_round_trips_through_doc():
+    for spec in DEFAULT_TENANTS:
+        assert TenantSpec.from_doc(spec.to_doc()) == spec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TenantSpec("x", share=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec("x", share=1.5)
+    with pytest.raises(ValueError):
+        TenantSpec("x", share=0.5, lane=7)
+    with pytest.raises(ValueError):
+        TenantSpec("x", share=0.5, slo_ms=0.0)
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        validate_tenants(())
+    with pytest.raises(ValueError):
+        validate_tenants((TenantSpec("a", 0.5), TenantSpec("a", 0.5)))
+    with pytest.raises(ValueError):
+        validate_tenants((TenantSpec("a", 0.5), TenantSpec("b", 0.4)))
+
+
+def test_summarize_slo_percentiles():
+    spec = TenantSpec("t", share=1.0, slo_ms=250.0)
+    latencies = [i / 100.0 for i in range(1, 101)]  # 10ms..1000ms
+    slo = summarize_slo(spec, latencies, degraded=[0.9, 1.0])
+    assert slo.n_requests == 100
+    assert slo.p50_ms == pytest.approx(505.0)
+    assert slo.p99_ms == pytest.approx(990.1)
+    # 25 of 100 requests land at or under 250ms.
+    assert slo.attainment == pytest.approx(0.25)
+    assert slo.n_degraded == 2
+    assert slo.degraded_p99_ms == pytest.approx(999.0)
+
+
+def test_summarize_slo_empty_stream():
+    slo = summarize_slo(TenantSpec("t", share=1.0), [], [])
+    assert slo.n_requests == 0
+    assert slo.p99_ms == 0.0
+    assert slo.attainment == 0.0
